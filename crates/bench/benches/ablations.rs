@@ -1,0 +1,116 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. Leaf capacity `k` — the paper notes that allowing several bodies per
+//!    leaf is what leveled the tree-build algorithms on hardware-coherent
+//!    machines.
+//! 2. The SPACE subdivision threshold — load balance vs partitioning time.
+//! 3. The Barnes-Hut opening angle θ — why force calculation dominates
+//!    sequential time.
+
+use bh_bench::{bench_config, workload};
+use bh_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_leaf_capacity(c: &mut Criterion) {
+    let n = 10_000;
+    let threads = 4;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("ablation_leaf_capacity");
+    group.sample_size(10);
+    for k in [1usize, 2, 4, 8, 16] {
+        for alg in [Algorithm::Local, Algorithm::Space] {
+            group.bench_with_input(BenchmarkId::new(alg.name(), k), &(alg, k), |b, &(alg, k)| {
+                let mut cfg = bench_config(alg);
+                cfg.k = k;
+                b.iter(|| {
+                    let env = NativeEnv::new(threads);
+                    criterion::black_box(run_simulation(&env, &cfg, &bodies).total_time())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_space_threshold(c: &mut Criterion) {
+    let n = 10_000;
+    let threads = 4;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("ablation_space_threshold");
+    group.sample_size(10);
+    for threshold in [16usize, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("SPACE", threshold), &threshold, |b, &threshold| {
+            let mut cfg = bench_config(Algorithm::Space);
+            cfg.space_threshold = Some(threshold);
+            b.iter(|| {
+                let env = NativeEnv::new(threads);
+                criterion::black_box(run_simulation(&env, &cfg, &bodies).total_time())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_theta(c: &mut Criterion) {
+    let n = 5_000;
+    let threads = 4;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("ablation_theta");
+    group.sample_size(10);
+    for theta in [0.5f64, 0.8, 1.2] {
+        group.bench_with_input(BenchmarkId::new("SPACE", format!("{theta}")), &theta, |b, &theta| {
+            let mut cfg = bench_config(Algorithm::Space);
+            cfg.force.theta = theta;
+            b.iter(|| {
+                let env = NativeEnv::new(threads);
+                criterion::black_box(run_simulation(&env, &cfg, &bodies).total_time())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    // Costzones vs Salmon-style ORB: time of one partitioning pass over a
+    // built, summarized tree.
+    use bh_core::algorithms::{common, Algorithm, Builder};
+    use bh_core::harness::spmd;
+    use bh_core::partition::costzones;
+    use bh_core::partition_orb::orb_partition;
+    let n = 20_000;
+    let threads = 4;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("ablation_partitioner");
+    group.sample_size(10);
+    let env = NativeEnv::new(threads);
+    let world = World::new(&env, &bodies);
+    let tree = SharedTree::new(&env, n, 8, Algorithm::Local.layout());
+    let builder = Builder::new(&env, Algorithm::Local, n, 8);
+    spmd(&env, |proc, ctx| {
+        let cube = common::bounds_phase(&env, ctx, &world, proc);
+        builder.build(&env, ctx, &tree, &world, proc, 0, cube);
+        env.barrier(ctx);
+        builder.com(&env, ctx, &tree, &world, proc, 0);
+        env.barrier(ctx);
+    });
+    group.bench_function("costzones", |b| {
+        b.iter(|| {
+            spmd(&env, |proc, ctx| {
+                costzones(&env, ctx, &tree, &world, proc);
+                env.barrier(ctx);
+            })
+        });
+    });
+    group.bench_function("orb", |b| {
+        b.iter(|| {
+            spmd(&env, |proc, ctx| {
+                orb_partition(&env, ctx, &world, proc);
+                env.barrier(ctx);
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_leaf_capacity, bench_space_threshold, bench_theta, bench_partitioners);
+criterion_main!(benches);

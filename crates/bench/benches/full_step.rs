@@ -1,0 +1,44 @@
+//! Full-time-step benchmarks on native threads: the complete application
+//! (bounds → build → CoM → costzones → forces → update) per algorithm.
+
+use bh_bench::{bench_config, workload};
+use bh_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_full_step(c: &mut Criterion) {
+    let n = 10_000;
+    let threads = 4;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("full_step_native");
+    group.sample_size(10);
+    for alg in Algorithm::ALL {
+        group.bench_with_input(BenchmarkId::new(alg.name(), n), &alg, |b, &alg| {
+            b.iter(|| {
+                let env = NativeEnv::new(threads);
+                let stats = run_simulation(&env, &bench_config(alg), &bodies);
+                criterion::black_box(stats.total_time())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_problem_scaling(c: &mut Criterion) {
+    let threads = 4;
+    let mut group = c.benchmark_group("full_step_scaling");
+    group.sample_size(10);
+    for n in [2_000usize, 8_000, 32_000] {
+        let bodies = workload(n);
+        group.bench_with_input(BenchmarkId::new("SPACE", n), &bodies, |b, bodies| {
+            b.iter(|| {
+                let env = NativeEnv::new(threads);
+                let stats = run_simulation(&env, &bench_config(Algorithm::Space), bodies);
+                criterion::black_box(stats.total_time())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_step, bench_problem_scaling);
+criterion_main!(benches);

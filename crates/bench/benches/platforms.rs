@@ -1,0 +1,35 @@
+//! Simulated-platform benchmarks: wall time of running the application on
+//! each platform cost model (this measures the *simulator*, complementing
+//! the virtual-time results the `repro` binary reports).
+
+use bh_bench::{bench_config, workload};
+use bh_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssmp::{platform, Machine};
+
+fn bench_platforms(c: &mut Criterion) {
+    let n = 4_096;
+    let procs = 8;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("platform_simulation");
+    group.sample_size(10);
+    for cost in platform::all_platforms(procs) {
+        for alg in [Algorithm::Local, Algorithm::Space] {
+            group.bench_with_input(
+                BenchmarkId::new(cost.name.clone(), alg.name()),
+                &(cost.clone(), alg),
+                |b, (cost, alg)| {
+                    b.iter(|| {
+                        let machine = Machine::new(cost.clone(), procs);
+                        let stats = run_simulation(&machine, &bench_config(*alg), &bodies);
+                        criterion::black_box(stats.total_time())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_platforms);
+criterion_main!(benches);

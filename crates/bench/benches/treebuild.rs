@@ -1,0 +1,82 @@
+//! Native tree-build benchmarks: one group per algorithm, building the tree
+//! for a fixed Plummer galaxy on host threads (bounds + build + CoM).
+
+use bh_bench::workload;
+use bh_core::algorithms::{common, Algorithm, Builder};
+use bh_core::harness::spmd;
+use bh_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build_once(env: &NativeEnv, builder: &Builder, tree: &SharedTree, world: &World, step: u32) {
+    spmd(env, |proc, ctx| {
+        let cube = common::bounds_phase(env, ctx, world, proc);
+        builder.build(env, ctx, tree, world, proc, step, cube);
+        env.barrier(ctx);
+        builder.com(env, ctx, tree, world, proc, step);
+        env.barrier(ctx);
+    });
+}
+
+fn bench_treebuild(c: &mut Criterion) {
+    let n = 20_000;
+    let threads = 4;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("treebuild_native");
+    group.sample_size(10);
+    for alg in Algorithm::ALL {
+        group.bench_with_input(BenchmarkId::new(alg.name(), n), &alg, |b, &alg| {
+            let env = NativeEnv::new(threads);
+            let world = World::new(&env, &bodies);
+            let tree = SharedTree::new(&env, n, 8, alg.layout());
+            let builder = Builder::new(&env, alg, n, 8);
+            let mut step = 0u32;
+            b.iter(|| {
+                build_once(&env, &builder, &tree, &world, step);
+                step += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_treebuild_thread_scaling(c: &mut Criterion) {
+    let n = 20_000;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("treebuild_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for alg in [Algorithm::Local, Algorithm::Space] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), threads),
+                &(alg, threads),
+                |b, &(alg, threads)| {
+                    let env = NativeEnv::new(threads);
+                    let world = World::new(&env, &bodies);
+                    let tree = SharedTree::new(&env, n, 8, alg.layout());
+                    let builder = Builder::new(&env, alg, n, 8);
+                    let mut step = 0u32;
+                    b.iter(|| {
+                        build_once(&env, &builder, &tree, &world, step);
+                        step += 1;
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sequential_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treebuild_sequential");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        let bodies = workload(n);
+        group.bench_with_input(BenchmarkId::new("SeqTree", n), &bodies, |b, bodies| {
+            b.iter(|| SeqTree::build(bodies, 8));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_treebuild, bench_treebuild_thread_scaling, bench_sequential_reference);
+criterion_main!(benches);

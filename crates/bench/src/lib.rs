@@ -1,0 +1,18 @@
+//! Shared helpers for the criterion benchmark suite.
+
+use bh_core::prelude::*;
+
+/// Standard benchmark workload (Plummer model, fixed seed).
+pub fn workload(n: usize) -> Vec<Body> {
+    Model::Plummer.generate(n, 20_011)
+}
+
+/// A short simulation config for benchmarking (1 warmup, 1 measured step,
+/// validation off — criterion handles repetition).
+pub fn bench_config(alg: Algorithm) -> SimConfig {
+    let mut cfg = SimConfig::new(alg);
+    cfg.warmup_steps = 1;
+    cfg.measured_steps = 1;
+    cfg.validate = false;
+    cfg
+}

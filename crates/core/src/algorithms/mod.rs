@@ -1,0 +1,171 @@
+//! The five parallel tree-building algorithms of Shan & Singh (IPPS 1998),
+//! plus shared machinery and a uniform dispatch layer.
+
+pub mod common;
+pub mod direct;
+pub mod partree;
+pub mod space;
+pub mod update;
+
+use crate::env::Env;
+use crate::math::Cube;
+use crate::tree::types::{SharedTree, TreeLayout};
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+
+/// Which tree-building algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// SPLASH: shared global arrays, lock per modification.
+    Orig,
+    /// SPLASH-2: per-processor arenas, lock per modification.
+    Local,
+    /// Incremental tree update instead of rebuild.
+    Update,
+    /// Local trees merged into the global tree.
+    Partree,
+    /// Spatial re-partitioning; lock-free build.
+    Space,
+}
+
+impl Algorithm {
+    pub const ALL: [Algorithm; 5] =
+        [Algorithm::Orig, Algorithm::Local, Algorithm::Update, Algorithm::Partree, Algorithm::Space];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Orig => "ORIG",
+            Algorithm::Local => "LOCAL",
+            Algorithm::Update => "UPDATE",
+            Algorithm::Partree => "PARTREE",
+            Algorithm::Space => "SPACE",
+        }
+    }
+
+    /// The storage layout each algorithm historically uses.
+    pub fn layout(self) -> TreeLayout {
+        match self {
+            Algorithm::Orig => TreeLayout::GlobalArena,
+            _ => TreeLayout::PerProcessor,
+        }
+    }
+
+    /// Parse a case-insensitive name.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s.to_ascii_uppercase().as_str() {
+            "ORIG" => Some(Algorithm::Orig),
+            "LOCAL" => Some(Algorithm::Local),
+            "UPDATE" => Some(Algorithm::Update),
+            "PARTREE" | "MERGE" => Some(Algorithm::Partree),
+            "SPACE" => Some(Algorithm::Space),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-run state of the selected algorithm (scratch arrays and parameters).
+pub struct Builder {
+    pub alg: Algorithm,
+    pub space_threshold: usize,
+    update_scratch: Option<update::UpdateScratch>,
+}
+
+impl Builder {
+    /// Create the builder for `alg` over `n` bodies; allocates any scratch
+    /// the algorithm needs from `env`.
+    pub fn new<E: Env>(env: &E, alg: Algorithm, n: usize, k: usize) -> Builder {
+        let p = env.num_procs();
+        Builder {
+            alg,
+            space_threshold: space::default_threshold(n, p, k),
+            update_scratch: match alg {
+                Algorithm::Update => Some(update::UpdateScratch::new(env, n)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Override the SPACE subdivision threshold (ablation studies).
+    pub fn with_space_threshold(mut self, threshold: usize) -> Builder {
+        self.space_threshold = threshold.max(1);
+        self
+    }
+
+    /// Execute the tree-build phase for one processor. Internally barriers
+    /// as the algorithm requires; the caller barriers once more afterwards.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build<E: Env>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        tree: &SharedTree,
+        world: &World,
+        proc: usize,
+        step: u32,
+        cube: Cube,
+    ) {
+        match self.alg {
+            Algorithm::Orig | Algorithm::Local => direct::build(env, ctx, tree, world, proc, cube),
+            Algorithm::Partree => partree::build(env, ctx, tree, world, proc, cube),
+            Algorithm::Space => space::build(env, ctx, tree, world, proc, cube, self.space_threshold),
+            Algorithm::Update => {
+                let scratch = self.update_scratch.as_ref().expect("UPDATE scratch");
+                update::build(env, ctx, tree, world, scratch, proc, step, cube)
+            }
+        }
+    }
+
+    /// Execute the center-of-mass phase for one processor (between
+    /// barriers).
+    pub fn com<E: Env>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        tree: &SharedTree,
+        world: &World,
+        proc: usize,
+        step: u32,
+    ) {
+        match self.alg {
+            Algorithm::Update => {
+                let scratch = self.update_scratch.as_ref().expect("UPDATE scratch");
+                update::com_phase(env, ctx, tree, world, scratch, proc, step)
+            }
+            _ => common::com_pass(env, ctx, tree, world, proc, step),
+        }
+    }
+
+    /// Whether validation should tolerate empty husk cells.
+    pub fn may_leave_husks(&self) -> bool {
+        self.alg == Algorithm::Update
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_roundtrip() {
+        for alg in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(alg.name()), Some(alg));
+            assert_eq!(Algorithm::parse(&alg.name().to_lowercase()), Some(alg));
+        }
+        assert_eq!(Algorithm::parse("MERGE"), Some(Algorithm::Partree));
+        assert_eq!(Algorithm::parse("nope"), None);
+    }
+
+    #[test]
+    fn layouts() {
+        assert_eq!(Algorithm::Orig.layout(), TreeLayout::GlobalArena);
+        for alg in [Algorithm::Local, Algorithm::Update, Algorithm::Partree, Algorithm::Space] {
+            assert_eq!(alg.layout(), TreeLayout::PerProcessor);
+        }
+    }
+}

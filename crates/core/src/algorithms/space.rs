@@ -1,0 +1,359 @@
+//! The SPACE tree-building algorithm — the paper's new contribution (§2.5).
+//!
+//! Instead of inserting the bodies a processor owns for force calculation,
+//! the *space* itself is re-partitioned for tree building: the domain is
+//! recursively subdivided (counting bodies per octant each round) until every
+//! subspace holds at most `threshold` bodies; the resulting subspaces are
+//! assigned to processors; and each processor builds complete subtrees for
+//! its subspaces, attaching them to the (partially constructed) upper tree
+//! without any locking — two bodies assigned to different processors can
+//! never meet in the same cell. The cost is extra communication and some
+//! load imbalance (a processor's tree-build bodies are not its
+//! force-calculation bodies), which the paper shows is a spectacular bargain
+//! on SVM platforms.
+
+use crate::algorithms::common::{create_root, insert_private, new_cell};
+use crate::env::Env;
+use crate::math::Cube;
+use crate::tree::types::{NodeRef, SharedTree};
+use crate::world::{World, FRONTIER_CAP, SUBSPACE_BIT, SUBSPACE_CAP};
+
+/// Routing marker: octant contained no bodies.
+const DEAD: u32 = u32::MAX;
+
+/// Default subdivision threshold: aim for a few dozen subspaces per
+/// processor so the greedy assignment balances well, but never below the
+/// leaf threshold (a subspace smaller than a leaf is pointless).
+pub fn default_threshold(n: usize, p: usize, k: usize) -> usize {
+    (n / (16 * p).max(1)).max(4 * k).max(1)
+}
+
+/// Tree-build phase of SPACE for one processor.
+pub fn build<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    world: &World,
+    proc: usize,
+    cube: Cube,
+    threshold: usize,
+) {
+    let p = env.num_procs();
+    tree.reset_for_rebuild(env, ctx, proc);
+    env.barrier(ctx);
+    if proc == 0 {
+        let root = create_root(env, ctx, tree, cube);
+        world.sp_frontier.store(env, ctx, 0, root.0);
+        world.sp_frontier_len.store(env, ctx, 0, 1);
+        world.sp_nsub.store(env, ctx, 0, 0);
+    }
+    env.barrier(ctx);
+
+    // ---- Phase 1: iterative spatial refinement ("the partitioning tree").
+    let (s, e) = world.zone(proc);
+    let mut round = 0u32;
+    loop {
+        let flen = world.sp_frontier_len.load(env, ctx, 0) as usize;
+        // Clear this processor's count row for the active frontier.
+        for key in 0..flen * 8 {
+            world.sp_counts[proc].store(env, ctx, key, 0);
+        }
+        // Settle previously routed bodies and count the unsettled ones.
+        // Routing state lives in this processor's local scratch, indexed by
+        // zone position.
+        for i in s..e {
+            let b = world.order.load(env, ctx, i) as usize;
+            let key = world.sp_body_slot[proc].load(env, ctx, i - s);
+            // Settled markers from a previous *step* are stale: only honor
+            // them after round 0 has re-keyed every body.
+            if round > 0 && key & SUBSPACE_BIT != 0 {
+                continue; // already settled in a final subspace
+            }
+            let slot = if round == 0 {
+                0
+            } else {
+                let routed = world.sp_route.load(env, ctx, key as usize);
+                debug_assert_ne!(routed, DEAD, "body routed into an empty octant");
+                if routed & SUBSPACE_BIT != 0 {
+                    world.sp_body_slot[proc].store(env, ctx, i - s, routed);
+                    continue;
+                }
+                routed as usize
+            };
+            let cell = NodeRef(world.sp_frontier.load(env, ctx, slot));
+            let c = tree.load_cell(env, ctx, cell);
+            let oct = c.cube().octant_of(world.pos.load(env, ctx, b));
+            let key = (slot * 8 + oct) as u32;
+            world.sp_counts[proc].fetch_add(env, ctx, key as usize, 1);
+            world.sp_body_slot[proc].store(env, ctx, i - s, key);
+            env.compute(ctx, 10);
+        }
+        env.barrier(ctx);
+        if flen == 0 {
+            break;
+        }
+        // Processor 0 subdivides over-threshold octants and routes the rest.
+        if proc == 0 {
+            subdivide_round(env, ctx, tree, world, flen, threshold, p);
+        }
+        env.barrier(ctx);
+        round += 1;
+    }
+
+    // ---- Phase 2: subspace assignment (computed identically everywhere).
+    let nsub = world.sp_nsub.load(env, ctx, 0) as usize;
+    let mut subs: Vec<(u32, u32)> = (0..nsub)
+        .map(|id| (world.sp_subspaces.load(env, ctx, id).count, id as u32))
+        .collect();
+    // Greedy longest-processing-time: biggest subspaces first, each to the
+    // least-loaded processor; deterministic tie-breaking.
+    subs.sort_unstable_by(|a, b| b.cmp(a));
+    let mut load = vec![0u64; p];
+    let mut owner = vec![0u8; nsub];
+    #[allow(clippy::needless_range_loop)]
+    for &(count, id) in &subs {
+        let q = (0..p).min_by_key(|&q| (load[q], q)).unwrap();
+        load[q] += count as u64;
+        owner[id as usize] = q as u8;
+        env.compute(ctx, 8);
+    }
+
+    // ---- Phase 3: bucket my bodies by final subspace.
+    let mut hist = vec![0u32; nsub + 1];
+    for i in s..e {
+        let key = world.sp_body_slot[proc].load(env, ctx, i - s);
+        debug_assert_ne!(key & SUBSPACE_BIT, 0, "body not settled after refinement");
+        hist[(key & !SUBSPACE_BIT) as usize] += 1;
+        env.compute(ctx, 4);
+    }
+    let mut offsets = vec![0u32; nsub + 1];
+    let mut acc = 0u32;
+    for id in 0..nsub {
+        offsets[id] = acc;
+        acc += hist[id];
+    }
+    offsets[nsub] = acc;
+    for (id, &off) in offsets.iter().enumerate() {
+        world.sp_bucket_off[proc].store(env, ctx, id, off);
+    }
+    let mut cursor = offsets.clone();
+    for i in s..e {
+        let b = world.order.load(env, ctx, i);
+        let key = world.sp_body_slot[proc].load(env, ctx, i - s);
+        let id = (key & !SUBSPACE_BIT) as usize;
+        world.sp_bucket[proc].store(env, ctx, cursor[id] as usize, b);
+        cursor[id] += 1;
+    }
+    env.barrier(ctx);
+
+    // ---- Phase 4: build one subtree per owned subspace, attach lock-free.
+    let arena = tree.arena_of(proc);
+    #[allow(clippy::needless_range_loop)] // `id` also indexes shared arrays
+    for id in 0..nsub {
+        if owner[id] != proc as u8 {
+            continue;
+        }
+        let sub = world.sp_subspaces.load(env, ctx, id);
+        let sub_cube = sub.cube();
+        // Gather the subspace's bodies from every processor's bucket — this
+        // is where SPACE pays in communication and locality.
+        let mut members = Vec::with_capacity(sub.count as usize);
+        for q in 0..p {
+            let lo = world.sp_bucket_off[q].load(env, ctx, id) as usize;
+            let hi = world.sp_bucket_off[q].load(env, ctx, id + 1) as usize;
+            for j in lo..hi {
+                members.push(world.sp_bucket[q].load(env, ctx, j));
+            }
+        }
+        debug_assert_eq!(members.len(), sub.count as usize);
+        if members.is_empty() {
+            continue;
+        }
+        let node = if members.len() <= tree.k {
+            // Small subspace: a single leaf.
+            let leaf = tree.alloc_leaf(env, ctx, arena, proc);
+            tree.update_leaf(env, ctx, leaf, |l| {
+                l.parent = sub.parent;
+                l.octant_in_parent = sub.oct;
+                l.center = sub_cube.center;
+                l.half = sub_cube.half;
+                l.n = members.len() as u32;
+                for (i, &b) in members.iter().enumerate() {
+                    l.bodies[i] = b;
+                }
+            });
+            tree.set_leaf_parent(env, ctx, leaf, sub.parent);
+            tree.set_leaf_bounds(env, ctx, leaf, sub_cube);
+            for &b in &members {
+                world.body_leaf.store(env, ctx, b as usize, leaf.0);
+            }
+            leaf
+        } else {
+            let cell = new_cell(env, ctx, tree, arena, proc, sub.parent, sub.oct as usize, sub_cube);
+            for &b in &members {
+                insert_private(env, ctx, tree, world, arena, proc, b, cell, sub_cube, 0);
+            }
+            cell
+        };
+        // Attach: no lock needed — exactly one processor writes this slot.
+        tree.set_child(env, ctx, sub.parent, sub.oct as usize, node);
+        tree.pending_add(env, ctx, sub.parent, 1);
+    }
+}
+
+/// Processor 0's per-round work: read the reduced counts, create upper-tree
+/// cells for over-threshold octants, emit final subspaces for the rest, and
+/// publish the routing table and next frontier.
+fn subdivide_round<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    world: &World,
+    flen: usize,
+    threshold: usize,
+    p: usize,
+) {
+    let arena = tree.arena_of(0);
+    let mut new_frontier: Vec<u32> = Vec::new();
+    for slot in 0..flen {
+        let cell = NodeRef(world.sp_frontier.load(env, ctx, slot));
+        let c = tree.load_cell(env, ctx, cell);
+        for oct in 0..8 {
+            let key = slot * 8 + oct;
+            let mut total = 0u32;
+            for q in 0..p {
+                total += world.sp_counts[q].load(env, ctx, key);
+            }
+            let route = if total == 0 {
+                DEAD
+            } else if total as usize > threshold {
+                let child = new_cell(env, ctx, tree, arena, 0, cell, oct, c.cube().octant(oct));
+                tree.set_child(env, ctx, cell, oct, child);
+                tree.pending_add(env, ctx, cell, 1);
+                let new_slot = new_frontier.len() as u32;
+                assert!((new_slot as usize) < FRONTIER_CAP, "SPACE frontier overflow; raise the threshold");
+                new_frontier.push(child.0);
+                new_slot
+            } else {
+                let id = world.sp_nsub.fetch_add(env, ctx, 0, 1);
+                assert!((id as usize) < SUBSPACE_CAP, "SPACE subspace overflow; raise the threshold");
+                let oc = c.cube().octant(oct);
+                world.sp_subspaces.store(
+                    env,
+                    ctx,
+                    id as usize,
+                    crate::world::Subspace {
+                        parent: cell,
+                        oct: oct as u8,
+                        count: total,
+                        center: oc.center,
+                        half: oc.half,
+                    },
+                );
+                SUBSPACE_BIT | id
+            };
+            world.sp_route.store(env, ctx, key, route);
+        }
+    }
+    for (i, &f) in new_frontier.iter().enumerate() {
+        world.sp_frontier.store(env, ctx, i, f);
+    }
+    world.sp_frontier_len.store(env, ctx, 0, new_frontier.len() as u32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::common::{bounds_phase, com_pass};
+    use crate::env::NativeEnv;
+    use crate::model::Model;
+    use crate::tree::validate;
+    use crate::tree::{SeqTree, SharedTree, TreeLayout};
+    use crate::world::World;
+
+    fn run(n: usize, p: usize, k: usize, model: Model, threshold: usize) -> (NativeEnv, SharedTree, World, Vec<crate::body::Body>, u64) {
+        let env = NativeEnv::new(p);
+        let bodies = model.generate(n, 55);
+        let world = World::new(&env, &bodies);
+        let tree = SharedTree::new(&env, n, k, TreeLayout::PerProcessor);
+        let mut locks = 0;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..p)
+                .map(|proc| {
+                    let (env, world, tree) = (&env, &world, &tree);
+                    s.spawn(move || {
+                        let mut ctx = env.make_ctx(proc);
+                        let cube = bounds_phase(env, &mut ctx, world, proc);
+                        build(env, &mut ctx, tree, world, proc, cube, threshold);
+                        env.barrier(&mut ctx);
+                        com_pass(env, &mut ctx, tree, world, proc, 0);
+                        env.barrier(&mut ctx);
+                        env.stats(&ctx).lock_acquires
+                    })
+                })
+                .collect();
+            for h in handles {
+                locks += h.join().unwrap();
+            }
+        });
+        (env, tree, world, bodies, locks)
+    }
+
+    fn check(n: usize, p: usize, k: usize, model: Model, threshold: usize) -> u64 {
+        let (_env, tree, world, bodies, locks) = run(n, p, k, model, threshold);
+        validate::validate(&tree, &world.positions(), &world.masses(), true)
+            .unwrap_or_else(|e| panic!("invalid SPACE tree (n={n} p={p} k={k} t={threshold}): {e}"));
+        let reference = SeqTree::build(&bodies, k);
+        validate::matches_reference(&tree, &reference)
+            .unwrap_or_else(|e| panic!("SPACE structure mismatch (n={n} p={p} k={k} t={threshold}): {e}"));
+        locks
+    }
+
+    #[test]
+    fn matches_reference_single_proc() {
+        check(600, 1, 8, Model::Plummer, 64);
+    }
+
+    #[test]
+    fn matches_reference_parallel() {
+        check(3000, 4, 8, Model::Plummer, default_threshold(3000, 4, 8));
+    }
+
+    #[test]
+    fn matches_reference_k1() {
+        check(800, 4, 1, Model::Plummer, 32);
+    }
+
+    #[test]
+    fn matches_reference_clusters() {
+        check(2000, 8, 4, Model::TwoClusterCollision, default_threshold(2000, 8, 4));
+    }
+
+    #[test]
+    fn threshold_larger_than_n() {
+        // Everything fits in the root's eight octants.
+        check(50, 4, 4, Model::UniformSphere, 1000);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in [1usize, 2, 9] {
+            check(n, 4, 2, Model::UniformSphere, 8);
+        }
+    }
+
+    #[test]
+    fn tree_build_is_lock_free() {
+        // The defining property: zero lock acquisitions in the build phase
+        // (the whole point of the algorithm on SVM platforms).
+        let locks = check(2000, 4, 8, Model::Plummer, default_threshold(2000, 4, 8));
+        assert_eq!(locks, 0, "SPACE must not lock; saw {locks} acquisitions");
+    }
+
+    #[test]
+    fn default_threshold_sane() {
+        assert!(default_threshold(0, 16, 8) >= 1);
+        assert!(default_threshold(1 << 20, 16, 8) > 1000);
+        assert!(default_threshold(100, 1, 1) >= 4);
+    }
+}

@@ -1,0 +1,276 @@
+//! The complete parallel Barnes-Hut application: per-step phase sequencing
+//! (bounds → tree build → center of mass → costzones → forces → update),
+//! phase timing, and run statistics — the measurement protocol of the paper
+//! (a number of warm-up steps to let the partition settle, then measured
+//! steps).
+
+use crate::algorithms::{Algorithm, Builder};
+use crate::body::Body;
+use crate::env::{CtxStats, Env};
+use crate::force::{force_phase, ForceParams};
+use crate::harness::spmd;
+use crate::partition::costzones;
+use crate::tree::types::SharedTree;
+use crate::tree::validate::{validate_with, ValidateOpts};
+use crate::update_phase::update_phase;
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    pub algorithm: Algorithm,
+    /// Leaf threshold k (bodies per leaf before subdivision).
+    pub k: usize,
+    pub force: ForceParams,
+    /// Integration time step.
+    pub dt: f64,
+    /// Steps run before measurement starts (paper uses 2).
+    pub warmup_steps: usize,
+    /// Steps measured (paper uses 2).
+    pub measured_steps: usize,
+    /// Override for the SPACE subdivision threshold.
+    pub space_threshold: Option<usize>,
+    /// Validate the final tree against all invariants after the run.
+    pub validate: bool,
+}
+
+impl SimConfig {
+    pub fn new(algorithm: Algorithm) -> SimConfig {
+        SimConfig {
+            algorithm,
+            k: 8,
+            force: ForceParams::default(),
+            dt: 0.025,
+            warmup_steps: 2,
+            measured_steps: 2,
+            space_threshold: None,
+            validate: true,
+        }
+    }
+}
+
+/// Time spent in each phase of one step, in the environment's time unit
+/// (wall nanoseconds natively, simulated cycles under `ssmp`). Measured at
+/// barrier boundaries, so a phase time includes any load-imbalance wait.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PhaseSample {
+    /// Bounds reduction + tree build + center-of-mass pass.
+    pub tree: u64,
+    /// Costzones partitioning.
+    pub partition: u64,
+    /// Force computation.
+    pub force: u64,
+    /// Position/velocity update.
+    pub update: u64,
+}
+
+impl PhaseSample {
+    pub fn total(&self) -> u64 {
+        self.tree + self.partition + self.force + self.update
+    }
+}
+
+/// Everything one processor recorded over the measured steps.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProcRecord {
+    pub proc: usize,
+    pub steps: Vec<PhaseSample>,
+    /// Lock acquisitions during the measured tree-build phases (Figure 15).
+    pub tree_locks: u64,
+    /// Remote misses during the measured tree-build phases.
+    pub tree_remote_misses: u64,
+    /// Page faults during the measured tree-build phases.
+    pub tree_page_faults: u64,
+    /// Lock wait during the measured tree-build phases.
+    pub tree_lock_wait: u64,
+    /// Time spent waiting at barriers during measured steps (Table 2).
+    pub barrier_wait: u64,
+    pub final_stats: CtxStats,
+}
+
+/// Result of a full run.
+#[derive(Debug, Serialize)]
+pub struct RunStats {
+    pub algorithm: Algorithm,
+    pub n: usize,
+    pub procs: usize,
+    pub k: usize,
+    pub warmup_steps: usize,
+    pub measured_steps: usize,
+    pub procs_records: Vec<ProcRecord>,
+    /// `None` when the final tree validated (or validation was disabled).
+    pub validation_error: Option<String>,
+}
+
+impl RunStats {
+    /// Total measured time: the maximum over processors of the summed phase
+    /// times (post-barrier these agree across processors).
+    pub fn total_time(&self) -> u64 {
+        self.procs_records
+            .iter()
+            .map(|r| r.steps.iter().map(PhaseSample::total).sum::<u64>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total measured tree-build time (max over processors).
+    pub fn tree_time(&self) -> u64 {
+        self.procs_records
+            .iter()
+            .map(|r| r.steps.iter().map(|s| s.tree).sum::<u64>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of measured time spent building the tree.
+    pub fn tree_fraction(&self) -> f64 {
+        let total = self.total_time();
+        if total == 0 {
+            0.0
+        } else {
+            self.tree_time() as f64 / total as f64
+        }
+    }
+
+    /// Measured force-phase time (max over processors).
+    pub fn force_time(&self) -> u64 {
+        self.procs_records
+            .iter()
+            .map(|r| r.steps.iter().map(|s| s.force).sum::<u64>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Lock acquisitions in the measured tree-build phases, per processor.
+    pub fn tree_locks_per_proc(&self) -> Vec<u64> {
+        self.procs_records.iter().map(|r| r.tree_locks).collect()
+    }
+
+    /// Total barrier wait time across processors during measured steps.
+    pub fn barrier_wait_total(&self) -> u64 {
+        self.procs_records.iter().map(|r| r.barrier_wait).sum()
+    }
+
+    /// Panic unless the run validated.
+    pub fn assert_valid(&self) {
+        if let Some(e) = &self.validation_error {
+            panic!("{} run failed validation: {e}", self.algorithm);
+        }
+    }
+}
+
+/// Run the complete application on `env` and return per-processor records.
+pub fn run_simulation<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> RunStats {
+    run_inner(env, cfg, bodies).0
+}
+
+/// Run the application and also return the final body state (for examples
+/// and physics tests).
+pub fn run_simulation_with_state<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Vec<Body>) {
+    run_inner(env, cfg, bodies)
+}
+
+fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Vec<Body>) {
+    let n = bodies.len();
+    let world = World::new(env, bodies);
+    let tree = SharedTree::new(env, n, cfg.k, cfg.algorithm.layout());
+    let mut builder = Builder::new(env, cfg.algorithm, n, cfg.k);
+    if let Some(t) = cfg.space_threshold {
+        builder = builder.with_space_threshold(t);
+    }
+    let total_steps = cfg.warmup_steps + cfg.measured_steps;
+    // Positions as of the last tree build, captured for validation (the
+    // final update phase moves bodies after the tree was summarized).
+    let tree_snapshot: parking_lot::Mutex<Option<Vec<crate::math::Vec3>>> = parking_lot::Mutex::new(None);
+
+    let procs_records = spmd(env, |proc, ctx| {
+        let mut rec = ProcRecord {
+            proc,
+            steps: Vec::with_capacity(cfg.measured_steps),
+            tree_locks: 0,
+            tree_remote_misses: 0,
+            tree_page_faults: 0,
+            tree_lock_wait: 0,
+            barrier_wait: 0,
+            final_stats: CtxStats::default(),
+        };
+        for step in 0..total_steps {
+            let measuring = step >= cfg.warmup_steps;
+            let s0 = env.stats(ctx);
+            let t0 = env.now(ctx);
+
+            // --- tree-build phase (bounds + build + CoM) ---
+            let cube = crate::algorithms::common::bounds_phase(env, ctx, &world, proc);
+            builder.build(env, ctx, &tree, &world, proc, step as u32, cube);
+            env.barrier(ctx);
+            builder.com(env, ctx, &tree, &world, proc, step as u32);
+            env.barrier(ctx);
+            if cfg.validate && proc == 0 && step + 1 == total_steps {
+                *tree_snapshot.lock() = Some(world.positions());
+            }
+            let t1 = env.now(ctx);
+            let s1 = env.stats(ctx);
+
+            // --- partition phase ---
+            costzones(env, ctx, &tree, &world, proc);
+            env.barrier(ctx);
+            let t2 = env.now(ctx);
+
+            // --- force phase ---
+            force_phase(env, ctx, &tree, &world, &cfg.force, proc);
+            env.barrier(ctx);
+            let t3 = env.now(ctx);
+
+            // --- update phase ---
+            update_phase(env, ctx, &world, proc, cfg.dt);
+            env.barrier(ctx);
+            let t4 = env.now(ctx);
+            let s4 = env.stats(ctx);
+
+            if measuring {
+                rec.steps.push(PhaseSample {
+                    tree: t1 - t0,
+                    partition: t2 - t1,
+                    force: t3 - t2,
+                    update: t4 - t3,
+                });
+                rec.tree_locks += s1.lock_acquires - s0.lock_acquires;
+                rec.tree_remote_misses += s1.remote_misses - s0.remote_misses;
+                rec.tree_page_faults += s1.page_faults - s0.page_faults;
+                rec.tree_lock_wait += s1.lock_wait - s0.lock_wait;
+                rec.barrier_wait += s4.barrier_wait - s0.barrier_wait;
+            }
+        }
+        rec.final_stats = env.stats(ctx);
+        rec
+    });
+
+    let validation_error = if cfg.validate {
+        let positions = tree_snapshot.lock().take().unwrap_or_else(|| world.positions());
+        validate_with(
+            &tree,
+            &positions,
+            &world.masses(),
+            ValidateOpts { check_summaries: true, allow_empty_cells: builder.may_leave_husks() },
+        )
+        .err()
+    } else {
+        None
+    };
+    let state = world.snapshot();
+
+    (
+        RunStats {
+            algorithm: cfg.algorithm,
+            n,
+            procs: env.num_procs(),
+            k: cfg.k,
+            warmup_steps: cfg.warmup_steps,
+            measured_steps: cfg.measured_steps,
+            procs_records,
+            validation_error,
+        },
+        state,
+    )
+}

@@ -1,0 +1,109 @@
+//! Body (particle) state.
+
+use crate::math::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A single body of the N-body system: the unit of work for tree building,
+/// force computation and position update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Body {
+    pub pos: Vec3,
+    pub vel: Vec3,
+    pub mass: f64,
+}
+
+impl Body {
+    pub fn new(pos: Vec3, vel: Vec3, mass: f64) -> Self {
+        Body { pos, vel, mass }
+    }
+
+    /// Kinetic energy `m v^2 / 2`.
+    #[inline]
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self.mass * self.vel.norm_sq()
+    }
+}
+
+/// Bounding box of a set of bodies.
+pub fn bounding_box(bodies: &[Body]) -> Aabb {
+    Aabb::from_points(bodies.iter().map(|b| b.pos))
+}
+
+/// Total mass of a set of bodies.
+pub fn total_mass(bodies: &[Body]) -> f64 {
+    bodies.iter().map(|b| b.mass).sum()
+}
+
+/// Center of mass of a set of bodies (the origin for an empty set).
+pub fn center_of_mass(bodies: &[Body]) -> Vec3 {
+    let m = total_mass(bodies);
+    if m == 0.0 {
+        return Vec3::ZERO;
+    }
+    bodies.iter().map(|b| b.pos * b.mass).sum::<Vec3>() / m
+}
+
+/// Total energy of the system under Plummer-softened gravity: kinetic plus
+/// pairwise potential. O(n^2); used by tests and examples to check that the
+/// integrator approximately conserves energy.
+pub fn total_energy(bodies: &[Body], gravity: f64, softening: f64) -> f64 {
+    let kinetic: f64 = bodies.iter().map(Body::kinetic_energy).sum();
+    let eps2 = softening * softening;
+    let mut potential = 0.0;
+    for i in 0..bodies.len() {
+        for j in (i + 1)..bodies.len() {
+            let r = (bodies[i].pos.dist_sq(bodies[j].pos) + eps2).sqrt();
+            potential -= gravity * bodies[i].mass * bodies[j].mass / r;
+        }
+    }
+    kinetic + potential
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_bodies() -> Vec<Body> {
+        vec![
+            Body::new(Vec3::new(-1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 2.0),
+            Body::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, -1.0, 0.0), 2.0),
+        ]
+    }
+
+    #[test]
+    fn center_of_mass_symmetric_pair() {
+        let com = center_of_mass(&two_bodies());
+        assert!(com.norm() < 1e-15);
+    }
+
+    #[test]
+    fn center_of_mass_weighted() {
+        let bodies = vec![
+            Body::new(Vec3::new(0.0, 0.0, 0.0), Vec3::ZERO, 3.0),
+            Body::new(Vec3::new(4.0, 0.0, 0.0), Vec3::ZERO, 1.0),
+        ];
+        let com = center_of_mass(&bodies);
+        assert!((com.x - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_set_com_is_origin() {
+        assert_eq!(center_of_mass(&[]), Vec3::ZERO);
+    }
+
+    #[test]
+    fn energy_of_two_body_system() {
+        let bodies = two_bodies();
+        // KE = 2 * (0.5 * 2 * 1) = 2; PE = -G m1 m2 / r = -1*4/2 = -2 (no softening).
+        let e = total_energy(&bodies, 1.0, 0.0);
+        assert!((e - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_of_bodies() {
+        let bodies = two_bodies();
+        let bb = bounding_box(&bodies);
+        assert_eq!(bb.min.x, -1.0);
+        assert_eq!(bb.max.x, 1.0);
+    }
+}

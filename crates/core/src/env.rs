@@ -1,0 +1,333 @@
+//! The shared-address-space environment abstraction.
+//!
+//! Every algorithm in this crate is written once, generic over [`Env`]. An
+//! `Env` supplies:
+//!
+//! * **real synchronization** — locks and barriers that actually provide
+//!   mutual exclusion / rendezvous among the worker threads, and
+//! * **a timing account** — hooks (`read`, `write`, `compute`) through which
+//!   the algorithm reports its shared-memory accesses and local computation.
+//!
+//! [`NativeEnv`] maps synchronization to `parking_lot`/`std` primitives and
+//! ignores the timing hooks: algorithms then run at full native speed on the
+//! host. The `ssmp` crate provides `SimEnv`, which additionally routes every
+//! access through a coherence-protocol cost model and advances a per-processor
+//! virtual clock — the same algorithm code then "runs on" an SGI Origin 2000,
+//! an SGI Challenge, an Intel Paragon under HLRC shared virtual memory, or a
+//! Typhoon-zero, reproducing the paper's cross-platform study.
+
+use parking_lot::lock_api::RawMutex as _;
+use parking_lot::RawMutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// A virtual address in the simulated shared address space.
+///
+/// The native environment hands out unique addresses but never interprets
+/// them; simulation environments use them to determine cache lines, pages,
+/// and home nodes.
+pub type VAddr = u64;
+
+/// Placement hint for shared allocations, mirroring the data-placement
+/// differences between the ORIG and LOCAL algorithms that the paper studies:
+/// ORIG allocates cells in one global array (no locality, heavy false
+/// sharing), LOCAL keeps each processor's cells contiguous in its own memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// One shared region; home pages assigned round-robin (or centrally,
+    /// depending on platform).
+    Global,
+    /// Allocated in (and homed at) the given processor's local memory.
+    Local(usize),
+}
+
+/// Per-context statistics an environment can report after a run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct CtxStats {
+    /// Current time: nanoseconds (native) or simulated cycles (ssmp).
+    pub time: u64,
+    /// Number of lock acquisitions performed by this processor.
+    pub lock_acquires: u64,
+    /// Time spent waiting for locks, in the environment's time unit.
+    pub lock_wait: u64,
+    /// Time spent waiting at barriers, in the environment's time unit.
+    pub barrier_wait: u64,
+    /// Cache/page misses served remotely (simulation environments only).
+    pub remote_misses: u64,
+    /// Misses served from local memory (simulation environments only).
+    pub local_misses: u64,
+    /// Page faults / protocol handler invocations (SVM platforms only).
+    pub page_faults: u64,
+}
+
+/// A shared-address-space execution environment. See the module docs.
+///
+/// Algorithms must obey the usual shared-memory contract: any location that
+/// can be written concurrently is only accessed while holding the `Env` lock
+/// that the algorithm associates with it (or with phase-level ownership
+/// separation enforced by barriers). The environments provide the real
+/// synchronization to make that sound.
+pub trait Env: Sync {
+    /// Per-processor (per-worker-thread) context. Owned by the worker.
+    type Ctx: Send;
+
+    /// Number of processors (worker threads) in this environment.
+    fn num_procs(&self) -> usize;
+
+    /// Create the context for processor `proc` (`0..num_procs`).
+    fn make_ctx(&self, proc: usize) -> Self::Ctx;
+
+    /// Allocate `bytes` of shared address space.
+    fn alloc(&self, bytes: u64, align: u64, place: Placement) -> VAddr;
+
+    /// Account for a shared-memory read of `bytes` at `addr`.
+    fn read(&self, ctx: &mut Self::Ctx, addr: VAddr, bytes: u32);
+
+    /// Account for a shared-memory write of `bytes` at `addr`.
+    fn write(&self, ctx: &mut Self::Ctx, addr: VAddr, bytes: u32);
+
+    /// Account for an atomic read-modify-write (defaults to read + write).
+    fn rmw(&self, ctx: &mut Self::Ctx, addr: VAddr, bytes: u32) {
+        self.read(ctx, addr, bytes);
+        self.write(ctx, addr, bytes);
+    }
+
+    /// Account for `cycles` of purely local computation.
+    fn compute(&self, ctx: &mut Self::Ctx, cycles: u64);
+
+    /// Acquire lock `lock` (hashed into the environment's lock table).
+    fn lock(&self, ctx: &mut Self::Ctx, lock: usize);
+
+    /// Release lock `lock`. Must pair with a previous [`Env::lock`].
+    fn unlock(&self, ctx: &mut Self::Ctx, lock: usize);
+
+    /// Global barrier across all processors.
+    fn barrier(&self, ctx: &mut Self::Ctx);
+
+    /// Current time for this processor: wall nanoseconds (native) or
+    /// simulated cycles (ssmp).
+    fn now(&self, ctx: &Self::Ctx) -> u64;
+
+    /// Statistics snapshot for this processor.
+    fn stats(&self, ctx: &Self::Ctx) -> CtxStats;
+}
+
+/// Number of entries in the native lock table. Cell locks are hashed into
+/// this table, exactly like the fixed lock arrays of the SPLASH codes; a
+/// collision merely adds contention, never unsoundness — except that ids
+/// below [`crate::tree::types::RESERVED_LOCKS`] are kept in their own slots
+/// so a free-list lock can be taken while holding a node lock.
+pub const NATIVE_LOCK_TABLE: usize = 4096;
+
+/// Map a lock id into a table of `table` entries, preserving the reserved
+/// low range (see [`crate::tree::types::RESERVED_LOCKS`]).
+#[inline]
+pub fn lock_slot(id: usize, table: usize) -> usize {
+    const RESERVED: usize = 64;
+    if id < RESERVED {
+        id
+    } else {
+        RESERVED + (id - RESERVED) % (table - RESERVED)
+    }
+}
+
+struct TableMutex(RawMutex);
+
+impl TableMutex {
+    const fn new() -> Self {
+        TableMutex(RawMutex::INIT)
+    }
+}
+
+/// The native execution environment: real threads, real locks, zero timing
+/// overhead. `read`/`write`/`compute` are no-ops that compile away.
+pub struct NativeEnv {
+    procs: usize,
+    locks: Box<[TableMutex]>,
+    barrier: Barrier,
+    start: Instant,
+    next_addr: AtomicU64,
+}
+
+/// Per-processor context of [`NativeEnv`].
+pub struct NativeCtx {
+    proc: usize,
+    lock_acquires: u64,
+    lock_wait_ns: u64,
+    barrier_wait_ns: u64,
+}
+
+impl NativeEnv {
+    pub fn new(procs: usize) -> Self {
+        assert!(procs > 0, "need at least one processor");
+        let locks = (0..NATIVE_LOCK_TABLE).map(|_| TableMutex::new()).collect();
+        NativeEnv {
+            procs,
+            locks,
+            barrier: Barrier::new(procs),
+            start: Instant::now(),
+            next_addr: AtomicU64::new(0x1000),
+        }
+    }
+
+    /// The processor id a context was created for.
+    pub fn proc_of(ctx: &NativeCtx) -> usize {
+        ctx.proc
+    }
+}
+
+impl Env for NativeEnv {
+    type Ctx = NativeCtx;
+
+    fn num_procs(&self) -> usize {
+        self.procs
+    }
+
+    fn make_ctx(&self, proc: usize) -> NativeCtx {
+        assert!(proc < self.procs);
+        NativeCtx { proc, lock_acquires: 0, lock_wait_ns: 0, barrier_wait_ns: 0 }
+    }
+
+    fn alloc(&self, bytes: u64, align: u64, _place: Placement) -> VAddr {
+        let align = align.max(1);
+        let mut cur = self.next_addr.load(Ordering::Relaxed);
+        loop {
+            let base = (cur + align - 1) & !(align - 1);
+            match self.next_addr.compare_exchange_weak(
+                cur,
+                base + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return base,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn read(&self, _ctx: &mut NativeCtx, _addr: VAddr, _bytes: u32) {}
+
+    #[inline(always)]
+    fn write(&self, _ctx: &mut NativeCtx, _addr: VAddr, _bytes: u32) {}
+
+    #[inline(always)]
+    fn compute(&self, _ctx: &mut NativeCtx, _cycles: u64) {}
+
+    fn lock(&self, ctx: &mut NativeCtx, lock: usize) {
+        let m = &self.locks[lock_slot(lock, NATIVE_LOCK_TABLE)].0;
+        ctx.lock_acquires += 1;
+        if !m.try_lock() {
+            let t0 = Instant::now();
+            m.lock();
+            ctx.lock_wait_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    fn unlock(&self, _ctx: &mut NativeCtx, lock: usize) {
+        // SAFETY: the `Env` contract requires `unlock` to pair with a
+        // previous `lock` of the same id by this thread.
+        unsafe { self.locks[lock_slot(lock, NATIVE_LOCK_TABLE)].0.unlock() }
+    }
+
+    fn barrier(&self, ctx: &mut NativeCtx) {
+        let t0 = Instant::now();
+        self.barrier.wait();
+        ctx.barrier_wait_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    fn now(&self, _ctx: &NativeCtx) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn stats(&self, ctx: &NativeCtx) -> CtxStats {
+        CtxStats {
+            time: self.now(ctx),
+            lock_acquires: ctx.lock_acquires,
+            lock_wait: ctx.lock_wait_ns,
+            barrier_wait: ctx.barrier_wait_ns,
+            ..CtxStats::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let env = NativeEnv::new(1);
+        let a = env.alloc(100, 64, Placement::Global);
+        let b = env.alloc(10, 64, Placement::Global);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 100);
+    }
+
+    #[test]
+    fn locks_provide_mutual_exclusion() {
+        let env = NativeEnv::new(4);
+        let counter = std::cell::UnsafeCell::new(0u64);
+        struct Wrap(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Wrap {}
+        let shared = Wrap(counter);
+        const ITERS: u64 = 20_000;
+        std::thread::scope(|s| {
+            for p in 0..4 {
+                let env = &env;
+                let shared = &shared;
+                s.spawn(move || {
+                    let mut ctx = env.make_ctx(p);
+                    for _ in 0..ITERS {
+                        env.lock(&mut ctx, 7);
+                        // SAFETY: guarded by lock 7.
+                        unsafe { *shared.0.get() += 1 };
+                        env.unlock(&mut ctx, 7);
+                    }
+                });
+            }
+        });
+        assert_eq!(unsafe { *shared.0.get() }, 4 * ITERS);
+    }
+
+    #[test]
+    fn lock_stats_are_counted() {
+        let env = NativeEnv::new(1);
+        let mut ctx = env.make_ctx(0);
+        for i in 0..10 {
+            env.lock(&mut ctx, i);
+            env.unlock(&mut ctx, i);
+        }
+        assert_eq!(env.stats(&ctx).lock_acquires, 10);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_procs() {
+        let env = NativeEnv::new(8);
+        let flag = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for p in 0..8 {
+                let env = &env;
+                let flag = &flag;
+                s.spawn(move || {
+                    let mut ctx = env.make_ctx(p);
+                    flag.fetch_add(1, Ordering::SeqCst);
+                    env.barrier(&mut ctx);
+                    // After the barrier every increment must be visible.
+                    assert_eq!(flag.load(Ordering::SeqCst), 8);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn time_advances() {
+        let env = NativeEnv::new(1);
+        let ctx = env.make_ctx(0);
+        let t0 = env.now(&ctx);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(env.now(&ctx) > t0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The Barnes-Hut force-computation phase.
+//!
+//! Each body traverses the summarized octree from the root: a cell far
+//! enough away (opening criterion `side/dist < θ`) is approximated by its
+//! center of mass; otherwise its children are visited recursively. Gravity
+//! is Plummer-softened. The per-body interaction count is recorded as the
+//! body's cost for the next step's costzones partitioning — force
+//! computation is >97% of sequential time, which is exactly why the paper's
+//! tree-building bottleneck on commodity platforms is so surprising.
+
+use crate::env::Env;
+use crate::math::Vec3;
+use crate::tree::seq::{SeqNode, SeqTree};
+use crate::tree::types::{NodeRef, SharedTree};
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+
+/// Physics and accuracy parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ForceParams {
+    /// Barnes-Hut opening angle θ; smaller is more accurate and more work.
+    pub theta: f64,
+    /// Plummer softening length ε.
+    pub eps: f64,
+    /// Gravitational constant G.
+    pub gravity: f64,
+}
+
+impl Default for ForceParams {
+    fn default() -> Self {
+        ForceParams { theta: 1.0, eps: 0.05, gravity: 1.0 }
+    }
+}
+
+/// Cycle cost charged per body-body or body-cell interaction.
+const INTERACT_CYCLES: u64 = 45;
+/// Cycle cost charged per visited (opened) cell.
+const VISIT_CYCLES: u64 = 10;
+
+/// Pairwise softened-gravity acceleration on a body at `pos` from mass `m`
+/// at `src`.
+#[inline]
+pub fn pair_accel(pos: Vec3, src: Vec3, m: f64, params: &ForceParams) -> Vec3 {
+    let d = src - pos;
+    let r2 = d.norm_sq() + params.eps * params.eps;
+    let r = r2.sqrt();
+    d * (params.gravity * m / (r2 * r))
+}
+
+/// Force phase for one processor: computes accelerations and per-body costs
+/// for every body in its zone. Caller barriers afterwards.
+pub fn force_phase<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    world: &World,
+    params: &ForceParams,
+    proc: usize,
+) {
+    let root = tree.root.load(env, ctx, 0);
+    let (s, e) = world.zone(proc);
+    for i in s..e {
+        let b = world.order.load(env, ctx, i);
+        let pos = world.pos.load(env, ctx, b as usize);
+        let mut acc = Vec3::ZERO;
+        let mut interactions = 0u32;
+        body_force(env, ctx, tree, world, params, b, pos, root, &mut acc, &mut interactions);
+        world.acc.store(env, ctx, b as usize, acc);
+        world.cost.store(env, ctx, b as usize, interactions.max(1));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn body_force<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    world: &World,
+    params: &ForceParams,
+    body: u32,
+    pos: Vec3,
+    node: NodeRef,
+    acc: &mut Vec3,
+    interactions: &mut u32,
+) {
+    if node.is_leaf() {
+        let l = tree.load_leaf(env, ctx, node);
+        for &ob in l.body_slice() {
+            if ob == body {
+                continue;
+            }
+            let opos = world.pos.load(env, ctx, ob as usize);
+            let om = world.mass.load(env, ctx, ob as usize);
+            *acc += pair_accel(pos, opos, om, params);
+            *interactions += 1;
+            env.compute(ctx, INTERACT_CYCLES);
+        }
+        return;
+    }
+    let c = tree.load_cell(env, ctx, node);
+    if c.count == 0 || c.mass == 0.0 {
+        return; // husk cell (UPDATE) — contributes nothing
+    }
+    env.compute(ctx, VISIT_CYCLES);
+    let d2 = pos.dist_sq(c.com);
+    let side = 2.0 * c.half;
+    if side * side < params.theta * params.theta * d2 {
+        *acc += pair_accel(pos, c.com, c.mass, params);
+        *interactions += 1;
+        env.compute(ctx, INTERACT_CYCLES);
+        return;
+    }
+    for ch in tree.children(env, ctx, node) {
+        if !ch.is_null() {
+            body_force(env, ctx, tree, world, params, body, pos, ch, acc, interactions);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential reference force computation (same criterion, on SeqTree).
+// ---------------------------------------------------------------------------
+
+/// Compute the acceleration on a single position over the sequential tree.
+pub fn seq_accel(tree: &SeqTree, bodies_pos: &[Vec3], bodies_mass: &[f64], body: u32, params: &ForceParams) -> (Vec3, u32) {
+    let pos = bodies_pos[body as usize];
+    let mut acc = Vec3::ZERO;
+    let mut interactions = 0;
+    seq_walk(tree, tree.root, bodies_pos, bodies_mass, body, pos, params, &mut acc, &mut interactions);
+    (acc, interactions)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn seq_walk(
+    tree: &SeqTree,
+    node: i32,
+    bodies_pos: &[Vec3],
+    bodies_mass: &[f64],
+    body: u32,
+    pos: Vec3,
+    params: &ForceParams,
+    acc: &mut Vec3,
+    interactions: &mut u32,
+) {
+    match &tree.nodes[node as usize] {
+        SeqNode::Leaf { bodies, .. } => {
+            for &ob in bodies {
+                if ob == body {
+                    continue;
+                }
+                *acc += pair_accel(pos, bodies_pos[ob as usize], bodies_mass[ob as usize], params);
+                *interactions += 1;
+            }
+        }
+        SeqNode::Cell { child, com, mass, cube, .. } => {
+            if *mass == 0.0 {
+                return;
+            }
+            let d2 = pos.dist_sq(*com);
+            let side = cube.side();
+            if side * side < params.theta * params.theta * d2 {
+                *acc += pair_accel(pos, *com, *mass, params);
+                *interactions += 1;
+                return;
+            }
+            for &ch in child {
+                if ch != -1 {
+                    seq_walk(tree, ch, bodies_pos, bodies_mass, body, pos, params, acc, interactions);
+                }
+            }
+        }
+    }
+}
+
+/// Direct O(n²) summation — the accuracy oracle for tests.
+pub fn direct_accel(bodies_pos: &[Vec3], bodies_mass: &[f64], body: u32, params: &ForceParams) -> Vec3 {
+    let pos = bodies_pos[body as usize];
+    let mut acc = Vec3::ZERO;
+    for (i, (&p, &m)) in bodies_pos.iter().zip(bodies_mass.iter()).enumerate() {
+        if i as u32 == body {
+            continue;
+        }
+        acc += pair_accel(pos, p, m, params);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::Body;
+    use crate::model::Model;
+
+    #[test]
+    fn pair_accel_points_toward_source() {
+        let params = ForceParams { theta: 1.0, eps: 0.0, gravity: 1.0 };
+        let a = pair_accel(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), 8.0, &params);
+        assert!(a.x > 0.0 && a.y == 0.0 && a.z == 0.0);
+        // |a| = G m / r^2 = 8 / 4 = 2.
+        assert!((a.norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softening_bounds_close_encounters() {
+        let params = ForceParams { theta: 1.0, eps: 0.1, gravity: 1.0 };
+        let a = pair_accel(Vec3::ZERO, Vec3::new(1e-12, 0.0, 0.0), 1.0, &params);
+        assert!(a.norm() < 1.0 / (0.1 * 0.1), "softened force must stay bounded");
+    }
+
+    #[test]
+    fn barnes_hut_approximates_direct_sum() {
+        let bodies: Vec<Body> = Model::Plummer.generate(600, 42);
+        let pos: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
+        let mass: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
+        let tree = SeqTree::build(&bodies, 8);
+        let params = ForceParams { theta: 0.5, eps: 0.05, gravity: 1.0 };
+        let mut worst = 0.0f64;
+        for b in (0..600).step_by(17) {
+            let (bh, _) = seq_accel(&tree, &pos, &mass, b, &params);
+            let exact = direct_accel(&pos, &mass, b, &params);
+            let rel = (bh - exact).norm() / exact.norm().max(1e-12);
+            worst = worst.max(rel);
+        }
+        assert!(worst < 0.05, "worst relative force error {worst}");
+    }
+
+    #[test]
+    fn theta_zero_equals_direct_sum() {
+        // θ→0 never accepts a cell, so BH degenerates to the direct sum.
+        let bodies: Vec<Body> = Model::UniformSphere.generate(100, 9);
+        let pos: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
+        let mass: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
+        let tree = SeqTree::build(&bodies, 4);
+        let params = ForceParams { theta: 1e-9, eps: 0.05, gravity: 1.0 };
+        for b in [0u32, 13, 57, 99] {
+            let (bh, ints) = seq_accel(&tree, &pos, &mass, b, &params);
+            let exact = direct_accel(&pos, &mass, b, &params);
+            assert!((bh - exact).norm() < 1e-9);
+            assert_eq!(ints, 99);
+        }
+    }
+
+    #[test]
+    fn larger_theta_means_fewer_interactions() {
+        let bodies: Vec<Body> = Model::Plummer.generate(2000, 7);
+        let pos: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
+        let mass: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
+        let tree = SeqTree::build(&bodies, 8);
+        let loose = ForceParams { theta: 1.2, ..Default::default() };
+        let tight = ForceParams { theta: 0.3, ..Default::default() };
+        let (_, n_loose) = seq_accel(&tree, &pos, &mass, 0, &loose);
+        let (_, n_tight) = seq_accel(&tree, &pos, &mass, 0, &tight);
+        assert!(n_loose < n_tight, "loose {n_loose} vs tight {n_tight}");
+    }
+}

@@ -1,0 +1,50 @@
+//! SPMD execution helper: run one closure per processor on real threads.
+
+use crate::env::Env;
+
+/// Run `f(proc, ctx)` on one thread per processor of `env`, returning the
+/// per-processor results in processor order. Panics in any worker propagate.
+pub fn spmd<E, R, F>(env: &E, f: F) -> Vec<R>
+where
+    E: Env,
+    R: Send,
+    F: Fn(usize, &mut E::Ctx) -> R + Sync,
+{
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..env.num_procs())
+            .map(|proc| {
+                let f = &f;
+                s.spawn(move || {
+                    let mut ctx = env.make_ctx(proc);
+                    f(proc, &mut ctx)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::NativeEnv;
+
+    #[test]
+    fn spmd_runs_every_proc_once() {
+        let env = NativeEnv::new(6);
+        let out = spmd(&env, |proc, _ctx| proc * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn spmd_allows_barriers() {
+        let env = NativeEnv::new(4);
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        spmd(&env, |_proc, ctx| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            crate::env::Env::barrier(&env, ctx);
+            assert_eq!(hits.load(Ordering::SeqCst), 4);
+        });
+    }
+}

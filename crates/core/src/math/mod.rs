@@ -1,0 +1,8 @@
+//! Geometric primitives: vectors, cubes/boxes, and Morton keys.
+
+pub mod aabb;
+pub mod morton;
+pub mod vec3;
+
+pub use aabb::{Aabb, Cube};
+pub use vec3::Vec3;

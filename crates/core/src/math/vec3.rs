@@ -1,0 +1,306 @@
+//! Three-dimensional vector arithmetic used throughout the N-body application.
+
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-D vector of `f64` components.
+///
+/// This is the workhorse numeric type of the whole library: body positions,
+/// velocities, accelerations, and cell centers of mass are all `Vec3`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[repr(C)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// A vector with all three components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Squared Euclidean norm. Cheaper than [`Vec3::norm`]; prefer it when a
+    /// comparison against a squared threshold suffices (as in the Barnes-Hut
+    /// opening criterion).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared distance to another point.
+    #[inline]
+    pub fn dist_sq(self, rhs: Vec3) -> f64 {
+        (self - rhs).norm_sq()
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn dist(self, rhs: Vec3) -> f64 {
+        self.dist_sq(rhs).sqrt()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// The largest of the three components.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// The smallest of the three components.
+    #[inline]
+    pub fn min_component(self) -> f64 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// `true` when every component is finite (no NaN / infinity).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Unit vector in the same direction; `None` for the zero vector.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl std::iter::Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(b.cross(a), Vec3::new(0.0, 0.0, -1.0));
+        let c = Vec3::new(2.0, 3.0, 4.0);
+        assert!((c.cross(c)).norm() < 1e-15);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm_sq(), 25.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(Vec3::ZERO.dist(v), 5.0);
+        assert_eq!(v.dist_sq(Vec3::ZERO), 25.0);
+    }
+
+    #[test]
+    fn component_ops() {
+        let a = Vec3::new(1.0, 5.0, 3.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 6.0));
+        assert_eq!(a.max_component(), 5.0);
+        assert_eq!(a.min_component(), 1.0);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[2], 3.0);
+        v[1] = 9.0;
+        assert_eq!(v.y, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let v = Vec3::ZERO;
+        let _ = v[3];
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec3::new(0.0, 3.0, 4.0);
+        let n = v.normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-15);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn summation() {
+        let vs = [Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 0.0, 3.0)];
+        let s: Vec3 = vs.iter().copied().sum();
+        assert_eq!(s, Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Vec3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,229 @@
+//! Orthogonal recursive bisection (ORB) partitioning — the technique Salmon
+//! used for message-passing Barnes-Hut (paper §5, related work), provided as
+//! a comparison baseline for costzones.
+//!
+//! ORB recursively splits the processor set in half, each time splitting the
+//! bodies by a cost-weighted median plane perpendicular to the longest axis
+//! of their bounding box. Unlike costzones it does not need the tree, but
+//! its partitions are boxes rather than tree-aligned zones, so a processor's
+//! bodies map less cleanly onto subtrees (one reason costzones won on shared
+//! address space machines).
+//!
+//! This implementation is deterministic and replicated: every processor
+//! computes the same ORB over a snapshot of positions and costs, then takes
+//! its own part. That costs O(n log P) per processor — acceptable as an
+//! ablation baseline, which is exactly the role it plays here.
+
+use crate::env::Env;
+use crate::math::{Aabb, Vec3};
+use crate::world::World;
+
+/// Compute the ORB assignment for `procs` processors over the given
+/// positions and costs. Returns, for each body, the processor it belongs
+/// to. Pure function (used by tests and by [`orb_partition`]).
+pub fn orb_assign(positions: &[Vec3], costs: &[u32], procs: usize) -> Vec<u8> {
+    assert!(procs >= 1 && procs <= 256);
+    let mut owner = vec![0u8; positions.len()];
+    let mut ids: Vec<u32> = (0..positions.len() as u32).collect();
+    split(positions, costs, &mut ids, 0, procs, &mut owner);
+    owner
+}
+
+fn split(positions: &[Vec3], costs: &[u32], ids: &mut [u32], first_proc: usize, nproc: usize, owner: &mut [u8]) {
+    if nproc == 1 || ids.is_empty() {
+        for &b in ids.iter() {
+            owner[b as usize] = first_proc as u8;
+        }
+        return;
+    }
+    // Split the processor set as evenly as possible.
+    let left_procs = nproc / 2;
+    let right_procs = nproc - left_procs;
+
+    // Longest axis of the current bounding box.
+    let bbox = Aabb::from_points(ids.iter().map(|&b| positions[b as usize]));
+    let ext = bbox.extent();
+    let axis = if ext.x >= ext.y && ext.x >= ext.z {
+        0
+    } else if ext.y >= ext.z {
+        1
+    } else {
+        2
+    };
+
+    // Sort by the chosen coordinate and cut at the cost-weighted point that
+    // matches the processor split ratio.
+    ids.sort_unstable_by(|&a, &b| {
+        positions[a as usize][axis]
+            .partial_cmp(&positions[b as usize][axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let total: u64 = ids.iter().map(|&b| costs[b as usize].max(1) as u64).sum();
+    let target = total * left_procs as u64 / nproc as u64;
+    let mut acc = 0u64;
+    let mut cut = 0;
+    for (i, &b) in ids.iter().enumerate() {
+        if acc >= target && i > 0 {
+            break;
+        }
+        acc += costs[b as usize].max(1) as u64;
+        cut = i + 1;
+    }
+    cut = cut.min(ids.len());
+    let (left, right) = ids.split_at_mut(cut);
+    split(positions, costs, left, first_proc, left_procs, owner);
+    split(positions, costs, right, first_proc + left_procs, right_procs, owner);
+}
+
+/// Replicated ORB partitioning phase: every processor reads all positions
+/// and costs (timed), computes the same bisection, and publishes its own
+/// zone of `world.order` / `zone_start`. Drop-in alternative to
+/// [`crate::partition::costzones`]; caller barriers afterwards.
+pub fn orb_partition<E: Env>(env: &E, ctx: &mut E::Ctx, world: &World, proc: usize) {
+    let n = world.n;
+    let mut positions = Vec::with_capacity(n);
+    let mut costs = Vec::with_capacity(n);
+    for i in 0..n {
+        positions.push(world.pos.load(env, ctx, i));
+        costs.push(world.cost.load(env, ctx, i));
+    }
+    env.compute(ctx, (n as u64) * 12); // sort/scan work
+    let procs = env.num_procs();
+    let owner = orb_assign(&positions, &costs, procs);
+    // Deterministic packing: bodies of processor q occupy one contiguous
+    // range of `order`, in body-id order.
+    let mut start = 0u32;
+    for q in 0..procs {
+        if q == proc {
+            world.zone_start.store(env, ctx, q, start);
+            let mut at = start;
+            for (b, &o) in owner.iter().enumerate() {
+                if o as usize == q {
+                    world.order.store(env, ctx, at as usize, b as u32);
+                    at += 1;
+                }
+            }
+        } else {
+            start += owner.iter().filter(|&&o| o as usize == q).count() as u32;
+            continue;
+        }
+        break;
+    }
+    // Recompute the running start for the zones after mine is not needed —
+    // every processor writes only its own start; processor 0 publishes the
+    // terminator.
+    if proc == 0 {
+        world.zone_start.store(env, ctx, procs, n as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn setup(n: usize) -> (Vec<Vec3>, Vec<u32>) {
+        let bodies = Model::Plummer.generate(n, 7);
+        (bodies.iter().map(|b| b.pos).collect(), vec![1u32; n])
+    }
+
+    #[test]
+    fn every_body_assigned_in_range() {
+        let (pos, cost) = setup(500);
+        for procs in [1usize, 2, 3, 8, 16] {
+            let owner = orb_assign(&pos, &cost, procs);
+            assert_eq!(owner.len(), 500);
+            assert!(owner.iter().all(|&o| (o as usize) < procs));
+            // Every processor gets at least one body when n >> P.
+            for q in 0..procs {
+                assert!(owner.iter().any(|&o| o as usize == q), "processor {q} got nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_costs_balance_body_counts() {
+        let (pos, cost) = setup(4096);
+        let procs = 8;
+        let owner = orb_assign(&pos, &cost, procs);
+        for q in 0..procs {
+            let share = owner.iter().filter(|&&o| o as usize == q).count();
+            assert!(
+                (share as i64 - 512).unsigned_abs() < 128,
+                "processor {q} got {share} of 4096"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_costs_balance_cost_sums() {
+        let (pos, _) = setup(2048);
+        // Cost proportional to distance from center (outer bodies heavy).
+        let cost: Vec<u32> = pos.iter().map(|p| 1 + (p.norm() * 100.0) as u32).collect();
+        let procs = 4;
+        let owner = orb_assign(&pos, &cost, procs);
+        let total: u64 = cost.iter().map(|&c| c as u64).sum();
+        for q in 0..procs {
+            let share: u64 = owner
+                .iter()
+                .zip(&cost)
+                .filter(|(&o, _)| o as usize == q)
+                .map(|(_, &c)| c as u64)
+                .sum();
+            let fair = total / procs as u64;
+            assert!(
+                share > fair / 2 && share < fair * 2,
+                "processor {q} cost share {share} vs fair {fair}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_are_spatially_coherent() {
+        // ORB partitions are boxes: the per-processor bounding boxes should
+        // be much smaller than the global box.
+        let (pos, cost) = setup(4096);
+        let procs = 8;
+        let owner = orb_assign(&pos, &cost, procs);
+        let global = Aabb::from_points(pos.iter().copied());
+        let gvol = global.extent().x * global.extent().y * global.extent().z;
+        let mut volsum = 0.0;
+        for q in 0..procs {
+            let bb = Aabb::from_points(
+                pos.iter().zip(&owner).filter(|(_, &o)| o as usize == q).map(|(p, _)| *p),
+            );
+            volsum += bb.extent().x * bb.extent().y * bb.extent().z;
+        }
+        assert!(volsum < gvol * 1.5, "ORB boxes overlap too much: {volsum} vs {gvol}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (pos, cost) = setup(800);
+        assert_eq!(orb_assign(&pos, &cost, 8), orb_assign(&pos, &cost, 8));
+    }
+
+    #[test]
+    fn orb_partition_phase_produces_valid_zones() {
+        use crate::env::NativeEnv;
+        use crate::harness::spmd;
+        use crate::world::World;
+        let env = NativeEnv::new(4);
+        let bodies = Model::Plummer.generate(600, 3);
+        let world = World::new(&env, &bodies);
+        spmd(&env, |proc, ctx| {
+            orb_partition(&env, ctx, &world, proc);
+            env.barrier(ctx);
+        });
+        // Zones cover [0, n) and `order` is a permutation.
+        assert_eq!(world.zone_start.peek(0), 0);
+        assert_eq!(world.zone_start.peek(4), 600);
+        let mut seen = vec![false; 600];
+        for i in 0..600 {
+            let b = world.order.peek(i) as usize;
+            assert!(!seen[b]);
+            seen[b] = true;
+        }
+    }
+}

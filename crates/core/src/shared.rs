@@ -1,0 +1,317 @@
+//! Shared-memory containers.
+//!
+//! A [`SharedVec`] is a fixed-length array that lives in the (real or
+//! simulated) shared address space: it owns normal host memory holding the
+//! actual values *and* a range of virtual addresses obtained from the
+//! environment, so that every access can be reported to the environment's
+//! timing model.
+//!
+//! # Soundness contract
+//!
+//! `SharedVec` is `Sync` and allows mutation through `&self` (via
+//! `UnsafeCell`), exactly like the shared arrays of a C shared-memory
+//! program. The algorithms in this crate keep such accesses race-free the
+//! same way the SPLASH codes do:
+//!
+//! * an element that can be written concurrently is only touched while
+//!   holding the [`Env`] lock the algorithm associates with it, or
+//! * the element is owned by a single processor during the current phase,
+//!   with phase transitions separated by [`Env::barrier`].
+//!
+//! This is the part of the reproduction where, as expected, a shared mutable
+//! tree "fights the borrow checker": the unsafety is confined to this module
+//! and [`crate::tree`], with the contract stated here.
+
+use crate::env::{Env, Placement, VAddr};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A fixed-length shared array of `Copy` data. See the module docs for the
+/// soundness contract.
+pub struct SharedVec<T> {
+    slots: Box<[UnsafeCell<T>]>,
+    base: VAddr,
+    stride: u64,
+}
+
+// SAFETY: access discipline is delegated to the algorithms per the module
+// docs; `T: Send` because values move between threads.
+unsafe impl<T: Send> Sync for SharedVec<T> {}
+unsafe impl<T: Send> Send for SharedVec<T> {}
+
+impl<T: Copy> SharedVec<T> {
+    /// Allocate a shared array of `len` copies of `init`.
+    pub fn new<E: Env>(env: &E, len: usize, init: T, place: Placement) -> Self {
+        let stride = std::mem::size_of::<T>().max(1) as u64;
+        let base = env.alloc(stride * len as u64, stride.next_power_of_two().min(64), place);
+        let slots = (0..len).map(|_| UnsafeCell::new(init)).collect();
+        SharedVec { slots, base, stride }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Virtual address of element `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> VAddr {
+        debug_assert!(i < self.slots.len());
+        self.base + self.stride * i as u64
+    }
+
+    /// Size in bytes of one element in the simulated address space.
+    #[inline]
+    pub fn stride(&self) -> u32 {
+        self.stride as u32
+    }
+
+    /// Timed read of element `i`.
+    #[inline]
+    pub fn load<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize) -> T {
+        env.read(ctx, self.addr(i), self.stride as u32);
+        // SAFETY: module-level contract (lock/ownership discipline).
+        unsafe { *self.slots[i].get() }
+    }
+
+    /// Timed write of element `i`.
+    #[inline]
+    pub fn store<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, value: T) {
+        env.write(ctx, self.addr(i), self.stride as u32);
+        // SAFETY: module-level contract.
+        unsafe { *self.slots[i].get() = value };
+    }
+
+    /// Timed read-modify-write of element `i` (counts as one read and one
+    /// write of the element).
+    #[inline]
+    pub fn update<E: Env, R>(&self, env: &E, ctx: &mut E::Ctx, i: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        env.read(ctx, self.addr(i), self.stride as u32);
+        env.write(ctx, self.addr(i), self.stride as u32);
+        // SAFETY: module-level contract.
+        unsafe { f(&mut *self.slots[i].get()) }
+    }
+
+    /// Untimed read, for setup, teardown and verification code running
+    /// outside the measured parallel phases. Subject to the same race-freedom
+    /// contract as [`SharedVec::load`].
+    #[inline]
+    pub fn peek(&self, i: usize) -> T {
+        // SAFETY: module-level contract.
+        unsafe { *self.slots[i].get() }
+    }
+
+    /// Untimed write; see [`SharedVec::peek`].
+    #[inline]
+    pub fn poke(&self, i: usize, value: T) {
+        // SAFETY: module-level contract.
+        unsafe { *self.slots[i].get() = value };
+    }
+
+    /// Iterate over a snapshot of the contents (untimed).
+    pub fn iter_peek(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.len()).map(move |i| self.peek(i))
+    }
+}
+
+/// A shared array of atomic 32-bit counters, used for dynamic index
+/// allocation (the SPLASH "obtain the next index in the array dynamically"),
+/// child-completion counts in the parallel center-of-mass pass, and the
+/// frequently-accessed shared counters whose false sharing the paper calls
+/// out in the ORIG algorithm.
+pub struct SharedAtomicVec {
+    slots: Box<[AtomicU32]>,
+    base: VAddr,
+}
+
+impl SharedAtomicVec {
+    pub fn new<E: Env>(env: &E, len: usize, init: u32, place: Placement) -> Self {
+        let base = env.alloc(4 * len as u64, 4, place);
+        let slots = (0..len).map(|_| AtomicU32::new(init)).collect();
+        SharedAtomicVec { slots, base }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    #[inline]
+    pub fn addr(&self, i: usize) -> VAddr {
+        self.base + 4 * i as u64
+    }
+
+    /// Timed atomic fetch-add.
+    #[inline]
+    pub fn fetch_add<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, v: u32) -> u32 {
+        env.rmw(ctx, self.addr(i), 4);
+        self.slots[i].fetch_add(v, Ordering::AcqRel)
+    }
+
+    /// Timed atomic fetch-sub.
+    #[inline]
+    pub fn fetch_sub<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, v: u32) -> u32 {
+        env.rmw(ctx, self.addr(i), 4);
+        self.slots[i].fetch_sub(v, Ordering::AcqRel)
+    }
+
+    /// Timed atomic load.
+    #[inline]
+    pub fn load<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize) -> u32 {
+        env.read(ctx, self.addr(i), 4);
+        self.slots[i].load(Ordering::Acquire)
+    }
+
+    /// Timed atomic store.
+    #[inline]
+    pub fn store<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, v: u32) {
+        env.write(ctx, self.addr(i), 4);
+        self.slots[i].store(v, Ordering::Release)
+    }
+
+    /// Untimed load for setup/verification.
+    #[inline]
+    pub fn peek(&self, i: usize) -> u32 {
+        self.slots[i].load(Ordering::Acquire)
+    }
+
+    /// Untimed store for setup/verification.
+    #[inline]
+    pub fn poke(&self, i: usize, v: u32) {
+        self.slots[i].store(v, Ordering::Release)
+    }
+}
+
+/// A shared array of atomic 64-bit counters (work totals, cost sums).
+pub struct SharedAtomicVec64 {
+    slots: Box<[AtomicU64]>,
+    base: VAddr,
+}
+
+impl SharedAtomicVec64 {
+    pub fn new<E: Env>(env: &E, len: usize, init: u64, place: Placement) -> Self {
+        let base = env.alloc(8 * len as u64, 8, place);
+        let slots = (0..len).map(|_| AtomicU64::new(init)).collect();
+        SharedAtomicVec64 { slots, base }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    #[inline]
+    pub fn addr(&self, i: usize) -> VAddr {
+        self.base + 8 * i as u64
+    }
+
+    #[inline]
+    pub fn fetch_add<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, v: u64) -> u64 {
+        env.rmw(ctx, self.addr(i), 8);
+        self.slots[i].fetch_add(v, Ordering::AcqRel)
+    }
+
+    #[inline]
+    pub fn load<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize) -> u64 {
+        env.read(ctx, self.addr(i), 8);
+        self.slots[i].load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub fn store<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, v: u64) {
+        env.write(ctx, self.addr(i), 8);
+        self.slots[i].store(v, Ordering::Release)
+    }
+
+    #[inline]
+    pub fn peek(&self, i: usize) -> u64 {
+        self.slots[i].load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub fn poke(&self, i: usize, v: u64) {
+        self.slots[i].store(v, Ordering::Release)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::NativeEnv;
+
+    #[test]
+    fn shared_vec_basics() {
+        let env = NativeEnv::new(1);
+        let mut ctx = env.make_ctx(0);
+        let v: SharedVec<u64> = SharedVec::new(&env, 16, 0, Placement::Global);
+        assert_eq!(v.len(), 16);
+        v.store(&env, &mut ctx, 3, 99);
+        assert_eq!(v.load(&env, &mut ctx, 3), 99);
+        assert_eq!(v.peek(3), 99);
+        v.update(&env, &mut ctx, 3, |x| *x += 1);
+        assert_eq!(v.peek(3), 100);
+    }
+
+    #[test]
+    fn addresses_are_strided() {
+        let env = NativeEnv::new(1);
+        let v: SharedVec<[u8; 24]> = SharedVec::new(&env, 8, [0; 24], Placement::Global);
+        assert_eq!(v.addr(1) - v.addr(0), 24);
+        assert_eq!(v.stride(), 24);
+    }
+
+    #[test]
+    fn distinct_vecs_do_not_overlap() {
+        let env = NativeEnv::new(1);
+        let a: SharedVec<u64> = SharedVec::new(&env, 100, 0, Placement::Global);
+        let b: SharedVec<u64> = SharedVec::new(&env, 100, 0, Placement::Local(0));
+        let a_end = a.addr(99) + 8;
+        assert!(b.addr(0) >= a_end || b.addr(99) + 8 <= a.addr(0));
+    }
+
+    #[test]
+    fn atomic_vec_concurrent_fetch_add() {
+        let env = NativeEnv::new(4);
+        let v = SharedAtomicVec::new(&env, 2, 0, Placement::Global);
+        std::thread::scope(|s| {
+            for p in 0..4 {
+                let env = &env;
+                let v = &v;
+                s.spawn(move || {
+                    let mut ctx = env.make_ctx(p);
+                    for _ in 0..10_000 {
+                        v.fetch_add(env, &mut ctx, 0, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(v.peek(0), 40_000);
+        assert_eq!(v.peek(1), 0);
+    }
+
+    #[test]
+    fn atomic64_roundtrip() {
+        let env = NativeEnv::new(1);
+        let mut ctx = env.make_ctx(0);
+        let v = SharedAtomicVec64::new(&env, 4, 7, Placement::Global);
+        assert_eq!(v.load(&env, &mut ctx, 2), 7);
+        v.store(&env, &mut ctx, 2, 1 << 40);
+        assert_eq!(v.fetch_add(&env, &mut ctx, 2, 5), 1 << 40);
+        assert_eq!(v.peek(2), (1 << 40) + 5);
+    }
+}

@@ -1,0 +1,9 @@
+//! Octree data structures: the shared parallel tree, the sequential
+//! reference tree, and validation utilities.
+
+pub mod seq;
+pub mod types;
+pub mod validate;
+
+pub use seq::{SeqNode, SeqTree};
+pub use types::{Arena, Cell, Leaf, NodeRef, SharedTree, TreeCapacity, TreeLayout, MAX_DEPTH, MAX_LEAF_BODIES};

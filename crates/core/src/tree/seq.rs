@@ -1,0 +1,350 @@
+//! Sequential reference octree.
+//!
+//! This is the "best sequential version of the application" the paper uses
+//! as the baseline for all speedups: a plain single-threaded Barnes-Hut tree
+//! with no locks, no shared-memory bookkeeping, and no environment plumbing.
+//! It doubles as the correctness oracle for the five parallel algorithms —
+//! for a given body set and leaf threshold the octree structure is unique,
+//! so the parallel trees must match it exactly.
+
+use crate::body::Body;
+use crate::math::{Aabb, Cube, Vec3};
+use crate::tree::types::{MAX_DEPTH, MAX_LEAF_BODIES};
+
+/// A node of the sequential tree.
+#[derive(Debug, Clone)]
+pub enum SeqNode {
+    Cell {
+        child: [i32; 8],
+        com: Vec3,
+        mass: f64,
+        count: u32,
+        cube: Cube,
+    },
+    Leaf {
+        bodies: Vec<u32>,
+        com: Vec3,
+        mass: f64,
+        cube: Cube,
+    },
+}
+
+/// Sequential reference octree.
+#[derive(Debug, Clone)]
+pub struct SeqTree {
+    pub nodes: Vec<SeqNode>,
+    pub root: i32,
+    pub cube: Cube,
+    pub k: usize,
+}
+
+const NIL: i32 = -1;
+
+impl SeqTree {
+    /// Build the octree over `bodies` with leaf threshold `k`.
+    pub fn build(bodies: &[Body], k: usize) -> SeqTree {
+        assert!((1..=MAX_LEAF_BODIES).contains(&k), "leaf threshold k={k} out of range");
+        let bbox = Aabb::from_points(bodies.iter().map(|b| b.pos));
+        let cube = if bbox.is_empty() { Cube::new(Vec3::ZERO, 1.0) } else { Cube::enclosing(&bbox) };
+        Self::build_in_cube(bodies, k, cube)
+    }
+
+    /// Build within a caller-chosen root cube (must contain all bodies).
+    pub fn build_in_cube(bodies: &[Body], k: usize, cube: Cube) -> SeqTree {
+        let mut t = SeqTree { nodes: Vec::new(), root: NIL, cube, k };
+        t.root = t.new_cell(cube);
+        for (i, b) in bodies.iter().enumerate() {
+            debug_assert!(cube.contains(b.pos), "body {i} at {:?} outside root cube", b.pos);
+            t.insert(t.root, i as u32, b.pos, bodies, 0);
+        }
+        t.summarize(t.root, bodies);
+        t
+    }
+
+    fn new_cell(&mut self, cube: Cube) -> i32 {
+        self.nodes.push(SeqNode::Cell {
+            child: [NIL; 8],
+            com: Vec3::ZERO,
+            mass: 0.0,
+            count: 0,
+            cube,
+        });
+        (self.nodes.len() - 1) as i32
+    }
+
+    fn new_leaf(&mut self, cube: Cube) -> i32 {
+        self.nodes.push(SeqNode::Leaf { bodies: Vec::new(), com: Vec3::ZERO, mass: 0.0, cube });
+        (self.nodes.len() - 1) as i32
+    }
+
+    fn insert(&mut self, cell: i32, body: u32, pos: Vec3, bodies: &[Body], depth: usize) {
+        assert!(depth < MAX_DEPTH, "tree depth limit exceeded: >k coincident bodies?");
+        let (oct, child_idx, cube) = match &self.nodes[cell as usize] {
+            SeqNode::Cell { child, cube, .. } => {
+                let oct = cube.octant_of(pos);
+                (oct, child[oct], *cube)
+            }
+            SeqNode::Leaf { .. } => unreachable!("insert target must be a cell"),
+        };
+        if child_idx == NIL {
+            let leaf = self.new_leaf(cube.octant(oct));
+            self.set_child(cell, oct, leaf);
+            self.leaf_push(leaf, body);
+            return;
+        }
+        match &self.nodes[child_idx as usize] {
+            SeqNode::Cell { .. } => self.insert(child_idx, body, pos, bodies, depth + 1),
+            SeqNode::Leaf { bodies: held, .. } => {
+                if held.len() < self.k {
+                    self.leaf_push(child_idx, body);
+                } else {
+                    // Subdivide: replace the leaf with a cell and reinsert.
+                    let held = held.clone();
+                    let sub = self.new_cell(cube.octant(oct));
+                    self.set_child(cell, oct, sub);
+                    for &b in &held {
+                        self.insert(sub, b, bodies[b as usize].pos, bodies, depth + 1);
+                    }
+                    self.insert(sub, body, pos, bodies, depth + 1);
+                }
+            }
+        }
+    }
+
+    fn set_child(&mut self, cell: i32, oct: usize, v: i32) {
+        if let SeqNode::Cell { child, .. } = &mut self.nodes[cell as usize] {
+            child[oct] = v;
+        }
+    }
+
+    fn leaf_push(&mut self, leaf: i32, body: u32) {
+        if let SeqNode::Leaf { bodies, .. } = &mut self.nodes[leaf as usize] {
+            bodies.push(body);
+        }
+    }
+
+    /// Bottom-up pass filling mass, center of mass and counts.
+    fn summarize(&mut self, node: i32, bodies: &[Body]) -> (f64, Vec3, u32) {
+        match self.nodes[node as usize].clone() {
+            SeqNode::Leaf { bodies: held, .. } => {
+                let mass: f64 = held.iter().map(|&b| bodies[b as usize].mass).sum();
+                let com = if mass > 0.0 {
+                    held.iter()
+                        .map(|&b| bodies[b as usize].pos * bodies[b as usize].mass)
+                        .sum::<Vec3>()
+                        / mass
+                } else {
+                    Vec3::ZERO
+                };
+                if let SeqNode::Leaf { com: c, mass: m, .. } = &mut self.nodes[node as usize] {
+                    *c = com;
+                    *m = mass;
+                }
+                (mass, com, held.len() as u32)
+            }
+            SeqNode::Cell { child, .. } => {
+                let mut mass = 0.0;
+                let mut weighted = Vec3::ZERO;
+                let mut count = 0;
+                for c in child.iter().copied().filter(|&c| c != NIL) {
+                    let (m, com, n) = self.summarize(c, bodies);
+                    mass += m;
+                    weighted += com * m;
+                    count += n;
+                }
+                let com = if mass > 0.0 { weighted / mass } else { Vec3::ZERO };
+                if let SeqNode::Cell { com: c, mass: m, count: n, .. } = &mut self.nodes[node as usize] {
+                    *c = com;
+                    *m = mass;
+                    *n = count;
+                }
+                (mass, com, count)
+            }
+        }
+    }
+
+    /// Total number of bodies in the tree.
+    pub fn body_count(&self) -> u32 {
+        match &self.nodes[self.root as usize] {
+            SeqNode::Cell { count, .. } => *count,
+            SeqNode::Leaf { bodies, .. } => bodies.len() as u32,
+        }
+    }
+
+    /// Number of internal cells / leaves.
+    pub fn cell_and_leaf_counts(&self) -> (usize, usize) {
+        let mut cells = 0;
+        let mut leaves = 0;
+        for n in &self.nodes {
+            match n {
+                SeqNode::Cell { .. } => cells += 1,
+                SeqNode::Leaf { .. } => leaves += 1,
+            }
+        }
+        (cells, leaves)
+    }
+
+    /// Canonical structural signature: for every leaf, the octant path from
+    /// the root paired with the sorted body ids it holds. Two octrees over
+    /// the same bodies are structurally identical iff their signatures match.
+    pub fn signature(&self) -> Vec<(Vec<u8>, Vec<u32>)> {
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        self.walk_signature(self.root, &mut path, &mut out);
+        out.sort();
+        out
+    }
+
+    fn walk_signature(&self, node: i32, path: &mut Vec<u8>, out: &mut Vec<(Vec<u8>, Vec<u32>)>) {
+        match &self.nodes[node as usize] {
+            SeqNode::Leaf { bodies, .. } => {
+                let mut ids = bodies.clone();
+                ids.sort_unstable();
+                out.push((path.clone(), ids));
+            }
+            SeqNode::Cell { child, .. } => {
+                for (oct, &c) in child.iter().enumerate() {
+                    if c != NIL {
+                        path.push(oct as u8);
+                        self.walk_signature(c, path, out);
+                        path.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maximum leaf depth.
+    pub fn depth(&self) -> usize {
+        fn go(t: &SeqTree, n: i32, d: usize) -> usize {
+            match &t.nodes[n as usize] {
+                SeqNode::Leaf { .. } => d,
+                SeqNode::Cell { child, .. } => child
+                    .iter()
+                    .filter(|&&c| c != NIL)
+                    .map(|&c| go(t, c, d + 1))
+                    .max()
+                    .unwrap_or(d),
+            }
+        }
+        go(self, self.root, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn bodies(n: usize) -> Vec<Body> {
+        Model::Plummer.generate(n, 17)
+    }
+
+    #[test]
+    fn all_bodies_inserted() {
+        let bs = bodies(500);
+        let t = SeqTree::build(&bs, 8);
+        assert_eq!(t.body_count(), 500);
+        let sig = t.signature();
+        let total: usize = sig.iter().map(|(_, ids)| ids.len()).sum();
+        assert_eq!(total, 500);
+        // Every body appears exactly once.
+        let mut seen = vec![false; 500];
+        for (_, ids) in &sig {
+            for &b in ids {
+                assert!(!seen[b as usize], "body {b} duplicated");
+                seen[b as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn leaves_respect_threshold() {
+        for k in [1usize, 2, 4, 8] {
+            let bs = bodies(300);
+            let t = SeqTree::build(&bs, k);
+            for n in &t.nodes {
+                if let SeqNode::Leaf { bodies, .. } = n {
+                    assert!(bodies.len() <= k, "leaf over threshold k={k}");
+                    assert!(!bodies.is_empty(), "empty leaf in fresh build");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_cubes_contain_their_bodies() {
+        let bs = bodies(400);
+        let t = SeqTree::build(&bs, 4);
+        for n in &t.nodes {
+            if let SeqNode::Leaf { bodies, cube, .. } = n {
+                for &b in bodies {
+                    assert!(cube.contains(bs[b as usize].pos));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_mass_preserved() {
+        let bs = bodies(256);
+        let t = SeqTree::build(&bs, 8);
+        if let SeqNode::Cell { mass, .. } = &t.nodes[t.root as usize] {
+            let expect: f64 = bs.iter().map(|b| b.mass).sum();
+            assert!((mass - expect).abs() < 1e-12);
+        } else {
+            panic!("root is not a cell");
+        }
+    }
+
+    #[test]
+    fn smaller_k_gives_deeper_tree() {
+        let bs = bodies(1000);
+        let t1 = SeqTree::build(&bs, 1);
+        let t8 = SeqTree::build(&bs, 8);
+        assert!(t1.depth() >= t8.depth());
+        let (c1, _) = t1.cell_and_leaf_counts();
+        let (c8, _) = t8.cell_and_leaf_counts();
+        assert!(c1 > c8, "k=1 must create more cells ({c1} vs {c8})");
+    }
+
+    #[test]
+    fn signature_is_insertion_order_independent() {
+        let bs = bodies(200);
+        let t1 = SeqTree::build(&bs, 4);
+        // Reversed insertion order: same structure.
+        let mut rev: Vec<Body> = bs.clone();
+        rev.reverse();
+        let t2 = SeqTree::build(&rev, 4);
+        // Map t2's body ids back to t1's numbering.
+        let n = bs.len() as u32;
+        let sig2: Vec<_> = t2
+            .signature()
+            .into_iter()
+            .map(|(p, ids)| {
+                let mut ids: Vec<u32> = ids.into_iter().map(|b| n - 1 - b).collect();
+                ids.sort_unstable();
+                (p, ids)
+            })
+            .collect();
+        let mut sig2 = sig2;
+        sig2.sort();
+        assert_eq!(t1.signature(), sig2);
+    }
+
+    #[test]
+    fn single_body_tree() {
+        let bs = vec![Body::new(Vec3::new(0.1, 0.2, 0.3), Vec3::ZERO, 2.0)];
+        let t = SeqTree::build(&bs, 8);
+        assert_eq!(t.body_count(), 1);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = SeqTree::build(&[], 8);
+        assert_eq!(t.body_count(), 0);
+        assert_eq!(t.signature().len(), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Shared world state: body arrays, processor assignments, and the scratch
+//! arrays used by the costzones and SPACE partitioners.
+
+use crate::body::Body;
+use crate::env::{Env, Placement};
+use crate::math::{Aabb, Cube, Vec3};
+use crate::shared::{SharedAtomicVec, SharedVec};
+use crate::tree::NodeRef;
+
+/// Maximum number of final subspaces the SPACE partitioner may produce.
+pub const SUBSPACE_CAP: usize = 8192;
+
+/// Maximum frontier cells per SPACE refinement round.
+pub const FRONTIER_CAP: usize = 8192;
+
+/// A final subspace produced by the SPACE partitioner: the position in the
+/// (partially built) global tree where the owning processor will attach the
+/// subtree it builds.
+#[derive(Debug, Clone, Copy)]
+pub struct Subspace {
+    /// Parent cell in the upper tree.
+    pub parent: NodeRef,
+    /// Octant of `parent` this subspace fills.
+    pub oct: u8,
+    /// Number of bodies in the subspace.
+    pub count: u32,
+    /// Cube of space represented.
+    pub center: Vec3,
+    pub half: f64,
+}
+
+impl Subspace {
+    pub fn cube(&self) -> Cube {
+        Cube::new(self.center, self.half)
+    }
+
+    fn zero() -> Subspace {
+        Subspace { parent: NodeRef::NULL, oct: 0, count: 0, center: Vec3::ZERO, half: 0.0 }
+    }
+}
+
+/// All shared state of the running simulation apart from the tree itself.
+pub struct World {
+    pub n: usize,
+    // ----- body state ------------------------------------------------------
+    pub pos: SharedVec<Vec3>,
+    pub vel: SharedVec<Vec3>,
+    pub acc: SharedVec<Vec3>,
+    pub mass: SharedVec<f64>,
+    /// Per-body force-computation work from the previous step (interaction
+    /// count). Drives costzones partitioning.
+    pub cost: SharedVec<u32>,
+    /// The leaf currently holding each body (encoded [`NodeRef`] bits,
+    /// atomic: it is read lock-free by the UPDATE algorithm's containment
+    /// check while subdividers forward it). Maintained by all builders.
+    pub body_leaf: SharedAtomicVec,
+    // ----- costzones assignment --------------------------------------------
+    /// Bodies in costzones (tree traversal) order.
+    pub order: SharedVec<u32>,
+    /// Per-processor start index into `order`; length P+1, entry P = n.
+    pub zone_start: SharedVec<u32>,
+    // ----- bounds reduction --------------------------------------------------
+    /// Per-processor bounding boxes, reduced to the global root cube.
+    pub proc_bbox: SharedVec<Aabb>,
+    // ----- SPACE partitioner scratch ---------------------------------------
+    /// Refinement frontier: encoded cell refs.
+    pub sp_frontier: SharedVec<u32>,
+    /// `[0]` = frontier length for the current round.
+    pub sp_frontier_len: SharedAtomicVec,
+    /// Per-processor body-count rows, one locally-placed array per
+    /// processor, indexed by `slot*8 + oct`. Processor 0 reads all rows once
+    /// per round to reduce; keeping rows local avoids false sharing in the
+    /// counting loop.
+    pub sp_counts: Vec<SharedAtomicVec>,
+    /// Routing table written by processor 0 after each subdivision round:
+    /// entry `slot*8 + oct` = `u32::MAX` (dead), `SUBSPACE_BIT | id` (final
+    /// subspace), or the next round's frontier slot.
+    pub sp_route: SharedVec<u32>,
+    /// Final subspaces.
+    pub sp_subspaces: SharedVec<Subspace>,
+    /// `[0]` = number of final subspaces.
+    pub sp_nsub: SharedAtomicVec,
+    /// Per-processor routing state for the bodies of its zone (indexed by
+    /// position within the zone): the pending route key, or
+    /// `SUBSPACE_BIT | id` once settled. Local placement — routing state is
+    /// private to the body's current owner.
+    pub sp_body_slot: Vec<SharedVec<u32>>,
+    /// Per-processor bucket storage: bodies grouped by subspace.
+    pub sp_bucket: Vec<SharedVec<u32>>,
+    /// Per-processor bucket offsets (length SUBSPACE_CAP+1 each).
+    pub sp_bucket_off: Vec<SharedVec<u32>>,
+}
+
+/// Marker bit in SPACE routing entries: the remaining bits are a final
+/// subspace id.
+pub const SUBSPACE_BIT: u32 = 1 << 31;
+
+impl World {
+    /// Allocate shared world state for `bodies` on the environment's
+    /// processors and initialize it (untimed setup).
+    pub fn new<E: Env>(env: &E, bodies: &[Body]) -> World {
+        let n = bodies.len();
+        let p = env.num_procs();
+        let g = Placement::Global;
+        let w = World {
+            n,
+            pos: SharedVec::new(env, n, Vec3::ZERO, g),
+            vel: SharedVec::new(env, n, Vec3::ZERO, g),
+            acc: SharedVec::new(env, n, Vec3::ZERO, g),
+            mass: SharedVec::new(env, n, 0.0, g),
+            cost: SharedVec::new(env, n, 1, g),
+            body_leaf: SharedAtomicVec::new(env, n, 0, g),
+            order: SharedVec::new(env, n, 0, g),
+            zone_start: SharedVec::new(env, p + 1, 0, g),
+            proc_bbox: SharedVec::new(env, p, Aabb::EMPTY, g),
+            sp_frontier: SharedVec::new(env, FRONTIER_CAP, 0, g),
+            sp_frontier_len: SharedAtomicVec::new(env, 1, 0, g),
+            sp_counts: (0..p)
+                .map(|q| SharedAtomicVec::new(env, FRONTIER_CAP * 8, 0, Placement::Local(q)))
+                .collect(),
+            sp_route: SharedVec::new(env, FRONTIER_CAP * 8, 0, g),
+            sp_subspaces: SharedVec::new(env, SUBSPACE_CAP, Subspace::zero(), g),
+            sp_nsub: SharedAtomicVec::new(env, 1, 0, g),
+            sp_body_slot: (0..p).map(|q| SharedVec::new(env, n, 0, Placement::Local(q))).collect(),
+            sp_bucket: (0..p).map(|q| SharedVec::new(env, n, 0u32, Placement::Local(q))).collect(),
+            sp_bucket_off: (0..p)
+                .map(|q| SharedVec::new(env, SUBSPACE_CAP + 1, 0u32, Placement::Local(q)))
+                .collect(),
+        };
+        for (i, b) in bodies.iter().enumerate() {
+            w.pos.poke(i, b.pos);
+            w.vel.poke(i, b.vel);
+            w.mass.poke(i, b.mass);
+            w.order.poke(i, i as u32);
+        }
+        // Initial even assignment in index order (the paper: "for the first
+        // time step, the particles are evenly assigned to processors").
+        for q in 0..=p {
+            w.zone_start.poke(q, (q * n / p) as u32);
+        }
+        w
+    }
+
+    /// Bodies assigned to `proc` (zone bounds, untimed read; the zone
+    /// contents are read with timed loads by the algorithms).
+    #[inline]
+    pub fn zone(&self, proc: usize) -> (usize, usize) {
+        (self.zone_start.peek(proc) as usize, self.zone_start.peek(proc + 1) as usize)
+    }
+
+    /// Snapshot the current body state (untimed; for validation/examples).
+    pub fn snapshot(&self) -> Vec<Body> {
+        (0..self.n)
+            .map(|i| Body::new(self.pos.peek(i), self.vel.peek(i), self.mass.peek(i)))
+            .collect()
+    }
+
+    /// Snapshot positions only.
+    pub fn positions(&self) -> Vec<Vec3> {
+        (0..self.n).map(|i| self.pos.peek(i)).collect()
+    }
+
+    /// Snapshot masses only.
+    pub fn masses(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.mass.peek(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::NativeEnv;
+    use crate::model::Model;
+
+    #[test]
+    fn world_initialization_roundtrip() {
+        let env = NativeEnv::new(4);
+        let bodies = Model::Plummer.generate(100, 3);
+        let w = World::new(&env, &bodies);
+        assert_eq!(w.n, 100);
+        let snap = w.snapshot();
+        assert_eq!(snap, bodies);
+    }
+
+    #[test]
+    fn initial_zones_are_even_partition() {
+        let env = NativeEnv::new(4);
+        let bodies = Model::UniformSphere.generate(103, 3);
+        let w = World::new(&env, &bodies);
+        let mut covered = 0;
+        for p in 0..4 {
+            let (s, e) = w.zone(p);
+            assert!(s <= e);
+            covered += e - s;
+        }
+        assert_eq!(covered, 103);
+        assert_eq!(w.zone(0).0, 0);
+        assert_eq!(w.zone(3).1, 103);
+    }
+
+    #[test]
+    fn initial_costs_are_uniform() {
+        let env = NativeEnv::new(2);
+        let bodies = Model::UniformSphere.generate(10, 1);
+        let w = World::new(&env, &bodies);
+        for i in 0..10 {
+            assert_eq!(w.cost.peek(i), 1);
+            assert_eq!(w.order.peek(i), i as u32);
+        }
+    }
+}

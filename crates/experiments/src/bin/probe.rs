@@ -1,0 +1,69 @@
+//! `probe` — run a single (platform, algorithm, n, procs) configuration and
+//! dump the full per-phase and per-processor diagnostics. Calibration and
+//! debugging aid for the cost models.
+//!
+//! ```text
+//! probe <platform> <algorithm> <n> <procs>
+//! ```
+
+use bh_core::prelude::*;
+use ssmp::{platform, Machine};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 4 {
+        eprintln!("usage: probe <platform|native> <algorithm> <n> <procs>");
+        std::process::exit(2);
+    }
+    let alg = Algorithm::parse(&args[1]).expect("unknown algorithm");
+    let n: usize = args[2].parse().expect("n");
+    let procs: usize = args[3].parse().expect("procs");
+    let bodies = Model::Plummer.generate(n, 1998);
+    let cfg = SimConfig::new(alg);
+
+    let stats = if args[0] == "native" {
+        let env = NativeEnv::new(procs);
+        run_simulation(&env, &cfg, &bodies)
+    } else {
+        let mut cost = platform::by_name(&args[0], procs).expect("unknown platform");
+        // Calibration overrides: PROBE_<FIELD>=value.
+        for (key, field) in [
+            ("PROBE_NOTICE", &mut cost.t_notice as *mut u64),
+            ("PROBE_OCCUPANCY", &mut cost.t_fault_occupancy as *mut u64),
+            ("PROBE_FAULT", &mut cost.t_page_fault as *mut u64),
+            ("PROBE_CHECK", &mut cost.t_check as *mut u64),
+            ("PROBE_TWIN", &mut cost.t_twin as *mut u64),
+            ("PROBE_DIFF", &mut cost.t_diff as *mut u64),
+            ("PROBE_LOCK_TRANSFER", &mut cost.t_lock_transfer as *mut u64),
+            ("PROBE_LOCK", &mut cost.t_lock as *mut u64),
+        ] {
+            if let Ok(v) = std::env::var(key) {
+                unsafe { *field = v.parse().expect(key) };
+            }
+        }
+        let machine = Machine::new(cost, procs);
+        run_simulation(&machine, &cfg, &bodies)
+    };
+    stats.assert_valid();
+
+    println!("platform={} alg={} n={} procs={}", args[0], alg, n, procs);
+    println!(
+        "total={} tree={} ({:.1}%) force={}",
+        stats.total_time(),
+        stats.tree_time(),
+        100.0 * stats.tree_fraction(),
+        stats.force_time(),
+    );
+    println!("per-proc (measured steps):");
+    for r in &stats.procs_records {
+        let tree: u64 = r.steps.iter().map(|s| s.tree).sum();
+        let part: u64 = r.steps.iter().map(|s| s.partition).sum();
+        let force: u64 = r.steps.iter().map(|s| s.force).sum();
+        let upd: u64 = r.steps.iter().map(|s| s.update).sum();
+        let f = &r.final_stats;
+        println!(
+            "  P{:<2} tree={:>12} part={:>10} force={:>12} upd={:>10} | tlocks={:<5} tlockwait={:<11} tremote={:<7} tfaults={:<6} | locks={:<6} barrwait={:<12} faults={:<8} remote={:<9} local={}",
+            r.proc, tree, part, force, upd, r.tree_locks, r.tree_lock_wait, r.tree_remote_misses, r.tree_page_faults, f.lock_acquires, f.barrier_wait, f.page_faults, f.remote_misses, f.local_misses
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! `repro` — regenerate the tables and figures of Shan & Singh (IPPS 1998).
+//!
+//! ```text
+//! repro <experiment|all> [--scale tiny|small|full] [--json <path>]
+//!
+//! experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 table2
+//!              fig12 fig13 fig14 sc442 fig15
+//! ```
+//!
+//! `--scale small` (default) runs the paper's problem sizes divided by 8;
+//! `--scale full` runs the paper sizes (slow); `--scale tiny` is a smoke
+//! test. Results are printed as text tables; `--json` additionally writes a
+//! machine-readable record.
+
+use bh_experiments::experiments;
+use bh_experiments::runner::ExperimentScale;
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment|all> [--scale tiny|small|full] [--json <path>]\n\
+         experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 table2 fig12 fig13 fig14 sc442 fig15"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut which: Option<String> = None;
+    let mut scale = ExperimentScale::Small;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).and_then(|s| ExperimentScale::parse(s)).unwrap_or_else(|| usage());
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            other if which.is_none() => which = Some(other.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let which = which.unwrap_or_else(|| usage());
+
+    let t0 = std::time::Instant::now();
+    let tables = if which == "all" {
+        experiments::all_experiments(scale)
+    } else {
+        match experiments::by_name(&which, scale) {
+            Some(t) => vec![t],
+            None => usage(),
+        }
+    };
+    for t in &tables {
+        println!("{t}");
+    }
+    eprintln!("[{} experiment(s) in {:.1}s]", tables.len(), t0.elapsed().as_secs_f64());
+
+    if let Some(path) = json_path {
+        let json = serde_json::Value::Array(tables.iter().map(|t| t.to_json()).collect());
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        writeln!(f, "{}", serde_json::to_string_pretty(&json).unwrap()).expect("write json");
+        eprintln!("[wrote {path}]");
+    }
+}

@@ -1,0 +1,393 @@
+//! One function per table/figure of the paper's evaluation (§4).
+//!
+//! Every function regenerates the rows/series the paper reports, at a
+//! configurable problem scale. Runs are memoized within a process so that
+//! figures sharing configurations (e.g. Figures 8 and 9) reuse them.
+
+use crate::runner::{run_on_platform, seq_time_on_platform, ExperimentScale, PlatformRun};
+use crate::tables::{fmt_pct, fmt_speedup, Table};
+use bh_core::prelude::*;
+use parking_lot::Mutex;
+use ssmp::{platform, CostModel};
+use std::collections::HashMap;
+
+type RunKey = (String, Algorithm, usize, usize);
+static RUN_CACHE: Mutex<Option<HashMap<RunKey, PlatformRun>>> = Mutex::new(None);
+
+fn run_cached(cost: &CostModel, alg: Algorithm, n: usize, procs: usize) -> PlatformRun {
+    let key = (cost.name.clone(), alg, n, procs);
+    if let Some(hit) = RUN_CACHE.lock().get_or_insert_with(HashMap::new).get(&key) {
+        return hit.clone();
+    }
+    let run = run_on_platform(cost, alg, n, procs);
+    RUN_CACHE.lock().get_or_insert_with(HashMap::new).insert(key, run.clone());
+    run
+}
+
+const ALGS: [Algorithm; 5] =
+    [Algorithm::Orig, Algorithm::Local, Algorithm::Update, Algorithm::Partree, Algorithm::Space];
+
+fn alg_headers(first: &str) -> Vec<String> {
+    let mut h = vec![first.to_string()];
+    h.extend(ALGS.iter().map(|a| a.name().to_string()));
+    h
+}
+
+fn speedup_table(id: &str, title: &str, cost: &CostModel, sizes: &[usize], procs: usize, expectation: &str) -> Table {
+    let mut t = Table::new(id, title, &[], expectation);
+    t.headers = alg_headers("particles");
+    for &n in sizes {
+        let mut row = vec![n.to_string()];
+        for alg in ALGS {
+            row.push(fmt_speedup(run_cached(cost, alg, n, procs).speedup));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+fn tree_pct_table(id: &str, title: &str, cost: &CostModel, n: usize, procs: &[usize], expectation: &str) -> Table {
+    let mut t = Table::new(id, title, &[], expectation);
+    t.headers = alg_headers("procs");
+    for &p in procs {
+        let mut row = vec![p.to_string()];
+        for alg in ALGS {
+            row.push(fmt_pct(run_cached(cost, alg, n, p).tree_fraction));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+// --------------------------------------------------------------------------
+// Table 1: best sequential time on the four platforms
+// --------------------------------------------------------------------------
+
+pub fn table1(scale: ExperimentScale) -> Table {
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536, 131072, 524288].iter().map(|&n| scale.size(n)).collect();
+    let platforms = [
+        platform::origin2000(1),
+        platform::challenge(1),
+        platform::typhoon0_hlrc(1),
+        platform::paragon_hlrc(1),
+    ];
+    let mut t = Table::new(
+        "Table 1",
+        "Best sequential time (seconds, 2 steps) per platform",
+        &[],
+        "Origin fastest, Challenge ~2.5x slower, Typhoon-0 and Paragon much slower; time grows ~NlogN",
+    );
+    t.headers = vec!["platform".to_string()];
+    t.headers.extend(sizes.iter().map(|n| n.to_string()));
+    for cost in &platforms {
+        let mut row = vec![cost.name.clone()];
+        for &n in &sizes {
+            let (cycles, _) = seq_time_on_platform(cost, n);
+            row.push(format!("{:.2}", cost.cycles_to_seconds(cycles)));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+// --------------------------------------------------------------------------
+// Figures 6-7: SGI Challenge
+// --------------------------------------------------------------------------
+
+pub fn fig6(scale: ExperimentScale) -> Table {
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536, 131072].iter().map(|&n| scale.size(n)).collect();
+    let procs = scale.procs(16);
+    speedup_table(
+        "Figure 6",
+        &format!("Speedups on SGI Challenge, {procs} processors"),
+        &platform::challenge(procs),
+        &sizes,
+        procs,
+        "all five algorithms between ~12 and ~15 on 16 procs; LOCAL best, ORIG worst by a little",
+    )
+}
+
+pub fn fig7(scale: ExperimentScale) -> Table {
+    let n = scale.size(131072);
+    let procs: Vec<usize> = [4, 8, 16].iter().map(|&p| scale.procs(p)).collect();
+    tree_pct_table(
+        "Figure 7",
+        &format!("Tree-building cost on SGI Challenge, {n} particles (% of total time)"),
+        &platform::challenge(16),
+        n,
+        &procs,
+        "small for the good algorithms (LOCAL/UPDATE/PARTREE/SPACE), larger for ORIG, growing with processors",
+    )
+}
+
+// --------------------------------------------------------------------------
+// Figures 8-11, Table 2: SGI Origin 2000
+// --------------------------------------------------------------------------
+
+pub fn fig8(scale: ExperimentScale) -> Table {
+    let sizes: Vec<usize> =
+        [8192, 16384, 32768, 65536, 131072, 524288].iter().map(|&n| scale.size(n)).collect();
+    let procs = scale.procs(30);
+    speedup_table(
+        "Figure 8",
+        &format!("Speedups on SGI Origin 2000, {procs} processors"),
+        &platform::origin2000(procs),
+        &sizes,
+        procs,
+        "LOCAL/UPDATE/PARTREE close together and best, scaling with data size; SPACE slightly behind; big gap to ORIG",
+    )
+}
+
+pub fn fig9(scale: ExperimentScale) -> Table {
+    let sizes: Vec<usize> =
+        [8192, 16384, 32768, 65536, 131072, 524288].iter().map(|&n| scale.size(n)).collect();
+    let procs = scale.procs(30);
+    let cost = platform::origin2000(procs);
+    let mut t = Table::new(
+        "Figure 9",
+        &format!("Tree-building phase speedups on Origin 2000, {procs} processors"),
+        &[],
+        "same relative ordering as Figure 8 but much lower absolute speedups",
+    );
+    t.headers = alg_headers("particles");
+    for &n in &sizes {
+        let mut row = vec![n.to_string()];
+        for alg in ALGS {
+            row.push(fmt_speedup(run_cached(&cost, alg, n, procs).tree_speedup));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+pub fn fig10(scale: ExperimentScale) -> Table {
+    let n = scale.size(524288);
+    let procs: Vec<usize> = [16, 24, 30].iter().map(|&p| scale.procs(p)).collect();
+    let mut t = Table::new(
+        "Figure 10",
+        &format!("Speedups on Origin 2000 vs processor count, {n} particles"),
+        &[],
+        "LOCAL/UPDATE/PARTREE scale well with processors (LOCAL best), SPACE a little worse, ORIG far behind",
+    );
+    t.headers = alg_headers("procs");
+    for &p in &procs {
+        let cost = platform::origin2000(p);
+        let mut row = vec![p.to_string()];
+        for alg in ALGS {
+            row.push(fmt_speedup(run_cached(&cost, alg, n, p).speedup));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+pub fn fig11(scale: ExperimentScale) -> Table {
+    let n = scale.size(524288);
+    let procs: Vec<usize> = [1, 8, 16, 24, 30].iter().map(|&p| scale.procs(p)).collect();
+    let mut procs_dedup = procs.clone();
+    procs_dedup.dedup();
+    tree_pct_table(
+        "Figure 11",
+        &format!("Tree-building cost on Origin 2000, {n} particles (% of total time)"),
+        &platform::origin2000(30),
+        n,
+        &procs_dedup,
+        "ORIG's tree-build share grows toward ~60% at 30 procs; the others stay small",
+    )
+}
+
+pub fn table2(scale: ExperimentScale) -> Table {
+    let procs = scale.procs(16);
+    let cost = platform::origin2000(procs);
+    let sizes: Vec<usize> = [65536, 524288].iter().map(|&n| scale.size(n)).collect();
+    let mut t = Table::new(
+        "Table 2",
+        &format!("Time (seconds) spent in BARRIER operations on Origin 2000, {procs} processors"),
+        &[],
+        "ORIG's barrier time ~15x LOCAL's; UPDATE distant second; others small",
+    );
+    t.headers = alg_headers("particles");
+    for &n in &sizes {
+        let mut row = vec![n.to_string()];
+        for alg in ALGS {
+            let run = run_cached(&cost, alg, n, procs);
+            // Average barrier wait per processor, in seconds.
+            let avg = run.barrier_wait_cycles / procs as u64;
+            row.push(format!("{:.3}", cost.cycles_to_seconds(avg)));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+// --------------------------------------------------------------------------
+// Figure 12: Intel Paragon (HLRC SVM)
+// --------------------------------------------------------------------------
+
+pub fn fig12(scale: ExperimentScale) -> Table {
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536].iter().map(|&n| scale.size(n)).collect();
+    let procs = scale.procs(16);
+    let cost = platform::paragon_hlrc(procs);
+    let mut t = Table::new(
+        "Figure 12",
+        &format!("Paragon (HLRC SVM), {procs} processors: speedup and tree-build share"),
+        &[],
+        "SPACE much better than PARTREE (only those two are runnable; the lock-heavy algorithms slow down); PARTREE's tree share ~50%, SPACE's <20%",
+    );
+    t.headers = vec![
+        "particles".into(),
+        "PARTREE speedup".into(),
+        "SPACE speedup".into(),
+        "PARTREE tree%".into(),
+        "SPACE tree%".into(),
+    ];
+    for &n in &sizes {
+        let pt = run_cached(&cost, Algorithm::Partree, n, procs);
+        let sp = run_cached(&cost, Algorithm::Space, n, procs);
+        t.row(vec![
+            n.to_string(),
+            fmt_speedup(pt.speedup),
+            fmt_speedup(sp.speedup),
+            fmt_pct(pt.tree_fraction),
+            fmt_pct(sp.tree_fraction),
+        ]);
+    }
+    t
+}
+
+// --------------------------------------------------------------------------
+// Figures 13-14: Typhoon-zero under HLRC
+// --------------------------------------------------------------------------
+
+pub fn fig13(scale: ExperimentScale) -> Table {
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536].iter().map(|&n| scale.size(n)).collect();
+    let procs = scale.procs(16);
+    let cost = platform::typhoon0_hlrc(procs);
+    let mut t = speedup_table(
+        "Figure 13",
+        &format!("Speedups on Typhoon-zero (HLRC SVM), {procs} processors"),
+        &cost,
+        &sizes,
+        procs,
+        "SPACE vastly outperforms everything; PARTREE second; ORIG/LOCAL/UPDATE deliver slowdowns (<1)",
+    );
+    // Companion series: tree-build share per algorithm at the largest size.
+    let n = *sizes.last().unwrap();
+    let mut row = vec![format!("tree% @{n}")];
+    for alg in ALGS {
+        row.push(fmt_pct(run_cached(&cost, alg, n, procs).tree_fraction));
+    }
+    t.rows.push(row);
+    t
+}
+
+pub fn fig14(scale: ExperimentScale) -> Table {
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536].iter().map(|&n| scale.size(n)).collect();
+    let procs = scale.procs(16);
+    let cost = platform::typhoon0_hlrc(procs);
+    let mut t = Table::new(
+        "Figure 14",
+        &format!("Tree-building phase speedups on Typhoon-zero HLRC, {procs} processors"),
+        &[],
+        "poor: SPACE reaches ~1.5, every other algorithm is a slowdown (<1)",
+    );
+    t.headers = alg_headers("particles");
+    for &n in &sizes {
+        let mut row = vec![n.to_string()];
+        for alg in ALGS {
+            row.push(fmt_speedup(run_cached(&cost, alg, n, procs).tree_speedup));
+        }
+        t.rows.push(row);
+    }
+    t
+}
+
+// --------------------------------------------------------------------------
+// §4.4.2: Typhoon-zero under fine-grained sequential consistency
+// --------------------------------------------------------------------------
+
+pub fn sc442(scale: ExperimentScale) -> Table {
+    let n = scale.size(16384);
+    let procs = scale.procs(16);
+    let cost = platform::typhoon0_sc(procs);
+    let mut t = Table::new(
+        "Section 4.4.2",
+        &format!("Speedups on Typhoon-zero (fine-grain SC), {n} particles, {procs} processors"),
+        &[],
+        "differences shrink: SPACE best (~7 of 16), LOCAL/UPDATE/PARTREE ~4, ORIG a little worse",
+    );
+    t.headers = alg_headers("particles");
+    let mut row = vec![n.to_string()];
+    for alg in ALGS {
+        row.push(fmt_speedup(run_cached(&cost, alg, n, procs).speedup));
+    }
+    t.rows.push(row);
+    t
+}
+
+// --------------------------------------------------------------------------
+// Figure 15: dynamic lock counts per processor
+// --------------------------------------------------------------------------
+
+pub fn fig15(scale: ExperimentScale) -> Table {
+    let n = scale.size(65536);
+    let procs = scale.procs(16);
+    let mut t = Table::new(
+        "Figure 15",
+        &format!(
+            "Locks executed per processor in the tree-building phase (2 steps, {n} particles, {procs} processors)"
+        ),
+        &[],
+        "lock counts fall ORIG ≈ LOCAL ≈ UPDATE (≈1 per body) >> PARTREE >> SPACE (=0)",
+    );
+    t.headers = vec!["platform/alg".to_string()];
+    t.headers.extend((0..procs).map(|p| format!("P{p}")));
+    for cost in [platform::typhoon0_hlrc(procs), platform::origin2000(procs)] {
+        for alg in ALGS {
+            let run = run_cached(&cost, alg, n, procs);
+            let mut row = vec![format!("{} {}", cost.name, alg.name())];
+            row.extend(run.locks_per_proc.iter().map(|l| l.to_string()));
+            t.rows.push(row);
+        }
+    }
+    t
+}
+
+/// Every experiment in paper order.
+pub fn all_experiments(scale: ExperimentScale) -> Vec<Table> {
+    vec![
+        table1(scale),
+        fig6(scale),
+        fig7(scale),
+        fig8(scale),
+        fig9(scale),
+        fig10(scale),
+        fig11(scale),
+        table2(scale),
+        fig12(scale),
+        fig13(scale),
+        fig14(scale),
+        sc442(scale),
+        fig15(scale),
+    ]
+}
+
+/// The experiment registry for the CLI.
+pub fn by_name(name: &str, scale: ExperimentScale) -> Option<Table> {
+    match name.to_ascii_lowercase().as_str() {
+        "table1" | "t1" => Some(table1(scale)),
+        "fig6" | "f6" => Some(fig6(scale)),
+        "fig7" | "f7" => Some(fig7(scale)),
+        "fig8" | "f8" => Some(fig8(scale)),
+        "fig9" | "f9" => Some(fig9(scale)),
+        "fig10" | "f10" => Some(fig10(scale)),
+        "fig11" | "f11" => Some(fig11(scale)),
+        "table2" | "t2" => Some(table2(scale)),
+        "fig12" | "f12" => Some(fig12(scale)),
+        "fig13" | "f13" => Some(fig13(scale)),
+        "fig14" | "f14" => Some(fig14(scale)),
+        "sc442" | "sc" => Some(sc442(scale)),
+        "fig15" | "f15" => Some(fig15(scale)),
+        _ => None,
+    }
+}

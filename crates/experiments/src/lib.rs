@@ -1,0 +1,11 @@
+//! Experiment harness regenerating every table and figure of Shan & Singh
+//! (IPPS 1998). Each experiment module produces a [`Table`] whose rows match
+//! the paper's reported series; the `repro` binary prints them and can dump
+//! JSON records.
+
+pub mod experiments;
+pub mod runner;
+pub mod tables;
+
+pub use runner::{run_on_platform, seq_time_on_platform, ExperimentScale, PlatformRun};
+pub use tables::Table;

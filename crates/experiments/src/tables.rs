@@ -1,0 +1,107 @@
+//! Plain-text table rendering and JSON export for experiment results.
+
+use serde::Serialize;
+
+/// A rendered experiment result: rows/series matching what the paper's
+/// table or figure reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. "Figure 6".
+    pub id: String,
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// What the paper reports for this experiment, for eyeball comparison.
+    pub paper_expectation: String,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, headers: &[&str], paper_expectation: &str) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            paper_expectation: paper_expectation.to_string(),
+        }
+    }
+
+    pub fn row<S: ToString>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+    }
+
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("table serializes")
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {}: {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                } else {
+                    widths.push(c.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        writeln!(f, "paper: {}", self.paper_expectation)
+    }
+}
+
+/// Format a ratio as a speedup with 2 decimals.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a fraction as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_rows_and_headers() {
+        let mut t = Table::new("Figure 0", "demo", &["n", "speedup"], "n/a");
+        t.row(vec!["8192".to_string(), "12.5".to_string()]);
+        let s = t.to_string();
+        assert!(s.contains("Figure 0"));
+        assert!(s.contains("speedup"));
+        assert!(s.contains("8192"));
+        assert!(s.contains("12.5"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Table::new("Table 1", "seq", &["a"], "x");
+        t.row(vec![1.5f64]);
+        let j = t.to_json();
+        assert_eq!(j["id"], "Table 1");
+        assert_eq!(j["rows"][0][0], "1.5");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_speedup(12.3456), "12.35");
+        assert_eq!(fmt_pct(0.5), "50.0%");
+    }
+}

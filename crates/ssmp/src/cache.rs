@@ -1,0 +1,202 @@
+//! Per-processor fast-path state: a private cache (eager protocols) or page
+//! table (HLRC). Both are bounded maps with FIFO eviction — crude but cheap,
+//! and eviction behaviour only needs to be plausible, not exact.
+
+use std::collections::VecDeque;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Minimal multiplicative hasher for `u64` grain numbers — the simulator's
+/// fast path does one map lookup per memory access, so SipHash would be a
+/// measurable tax on every simulated instruction.
+#[derive(Default)]
+pub struct GrainHasher(u64);
+
+impl Hasher for GrainHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (v ^ (v >> 29)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+}
+
+/// HashMap keyed by grain numbers with the fast hasher.
+pub type GrainMap<V> = std::collections::HashMap<u64, V, BuildHasherDefault<GrainHasher>>;
+type HashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<GrainHasher>>;
+
+/// State of a privately cached grain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Held {
+    Shared,
+    Exclusive,
+}
+
+/// Bounded private cache for eager (line-grained) protocols.
+pub struct PrivateCache {
+    map: HashMap<u64, Held>,
+    fifo: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl PrivateCache {
+    pub fn new(capacity: usize) -> Self {
+        PrivateCache {
+            map: HashMap::with_capacity_and_hasher(capacity.min(1 << 20), Default::default()),
+            fifo: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity: capacity.max(16),
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, grain: u64) -> Option<Held> {
+        self.map.get(&grain).copied()
+    }
+
+    /// Insert/upgrade a grain; returns any evicted grain.
+    pub fn put(&mut self, grain: u64, held: Held) -> Option<u64> {
+        if self.map.insert(grain, held).is_none() {
+            self.fifo.push_back(grain);
+            if self.fifo.len() > self.capacity {
+                // Evict FIFO entries until we find one still resident.
+                while let Some(victim) = self.fifo.pop_front() {
+                    if victim != grain && self.map.remove(&victim).is_some() {
+                        return Some(victim);
+                    }
+                    if self.fifo.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    #[inline]
+    pub fn invalidate(&mut self, grain: u64) {
+        self.map.remove(&grain);
+    }
+
+    /// Downgrade exclusive → shared (another processor read the line).
+    #[inline]
+    pub fn downgrade(&mut self, grain: u64) {
+        if let Some(h) = self.map.get_mut(&grain) {
+            *h = Held::Shared;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Per-page entry of the HLRC page table.
+#[derive(Debug, Clone, Copy)]
+pub struct PageEntry {
+    /// Version of the page contents this processor last fetched/validated.
+    pub version: u64,
+    /// The acquire-epoch at which this entry was last checked against the
+    /// global version. Entries from older epochs must be revalidated (this
+    /// is the lazy invalidation of LRC).
+    pub checked_epoch: u64,
+    /// Whether this processor has a twin and is writing the page in the
+    /// current interval.
+    pub writing: bool,
+}
+
+/// HLRC page table for one processor.
+pub struct PageTable {
+    map: HashMap<u64, PageEntry>,
+    /// Pages written in the current interval (flushed at release).
+    pub dirty: Vec<u64>,
+}
+
+impl PageTable {
+    pub fn new() -> Self {
+        PageTable { map: HashMap::default(), dirty: Vec::new() }
+    }
+
+    #[inline]
+    pub fn get(&self, page: u64) -> Option<PageEntry> {
+        self.map.get(&page).copied()
+    }
+
+    #[inline]
+    pub fn set(&mut self, page: u64, e: PageEntry) {
+        self.map.insert(page, e);
+    }
+
+    #[inline]
+    pub fn entry_mut(&mut self, page: u64) -> Option<&mut PageEntry> {
+        self.map.get_mut(&page)
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hit_and_miss() {
+        let mut c = PrivateCache::new(100);
+        assert_eq!(c.get(5), None);
+        c.put(5, Held::Shared);
+        assert_eq!(c.get(5), Some(Held::Shared));
+        c.put(5, Held::Exclusive);
+        assert_eq!(c.get(5), Some(Held::Exclusive));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_downgrade() {
+        let mut c = PrivateCache::new(100);
+        c.put(1, Held::Exclusive);
+        c.downgrade(1);
+        assert_eq!(c.get(1), Some(Held::Shared));
+        c.invalidate(1);
+        assert_eq!(c.get(1), None);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut c = PrivateCache::new(16);
+        for g in 0..100u64 {
+            c.put(g, Held::Shared);
+        }
+        assert!(c.len() <= 17, "cache grew to {}", c.len());
+        // Recent entries survive FIFO eviction.
+        assert_eq!(c.get(99), Some(Held::Shared));
+        assert_eq!(c.get(0), None);
+    }
+
+    #[test]
+    fn page_table_roundtrip() {
+        let mut pt = PageTable::new();
+        assert!(pt.get(7).is_none());
+        pt.set(7, PageEntry { version: 3, checked_epoch: 1, writing: false });
+        let e = pt.get(7).unwrap();
+        assert_eq!(e.version, 3);
+        pt.entry_mut(7).unwrap().writing = true;
+        assert!(pt.get(7).unwrap().writing);
+    }
+}

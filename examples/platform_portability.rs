@@ -1,0 +1,62 @@
+//! The paper's headline experiment in miniature: performance portability of
+//! the shared-address-space programming model. The *same* tree-building code
+//! runs on five simulated platforms — from hardware cache coherence to
+//! page-based software shared virtual memory — comparing the classic LOCAL
+//! algorithm against the paper's lock-free SPACE algorithm.
+//!
+//! ```text
+//! cargo run --release --example platform_portability [n_bodies] [procs]
+//! ```
+
+use bh_repro::bh_core::prelude::*;
+use bh_repro::ssmp::{platform, Machine};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8_192);
+    let procs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16);
+    let bodies = Model::Plummer.generate(n, 1998);
+
+    println!("{n} bodies, {procs} simulated processors\n");
+    println!(
+        "{:<16} {:>13} {:>13} {:>11} {:>11}",
+        "platform", "LOCAL speedup", "SPACE speedup", "LOCAL tree%", "SPACE tree%"
+    );
+
+    for cost in platform::all_platforms(procs) {
+        // Sequential baseline: lock-free one-processor run on the same
+        // platform model.
+        let seq_machine = Machine::new(cost.clone(), 1);
+        let mut seq_cfg = SimConfig::new(Algorithm::Partree);
+        seq_cfg.warmup_steps = 1;
+        seq_cfg.measured_steps = 2;
+        let seq = run_simulation(&seq_machine, &seq_cfg, &bodies);
+        seq.assert_valid();
+
+        let run = |alg: Algorithm| {
+            let machine = Machine::new(cost.clone(), procs);
+            let mut cfg = SimConfig::new(alg);
+            cfg.warmup_steps = 1;
+            cfg.measured_steps = 2;
+            let stats = run_simulation(&machine, &cfg, &bodies);
+            stats.assert_valid();
+            (seq.total_time() as f64 / stats.total_time().max(1) as f64, stats.tree_fraction())
+        };
+        let (local_s, local_f) = run(Algorithm::Local);
+        let (space_s, space_f) = run(Algorithm::Space);
+        println!(
+            "{:<16} {:>13.2} {:>13.2} {:>10.1}% {:>10.1}%",
+            cost.name,
+            local_s,
+            space_s,
+            100.0 * local_f,
+            100.0 * space_f
+        );
+    }
+
+    println!("\nOn the hardware-coherent machines both algorithms do fine; on the");
+    println!("software shared-virtual-memory platforms the lock-per-insert LOCAL");
+    println!("algorithm drowns in synchronization protocol costs while the");
+    println!("lock-free SPACE algorithm keeps the tree build a small fraction of");
+    println!("the step — the performance portability the paper argues for.");
+}

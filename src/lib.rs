@@ -1,0 +1,12 @@
+//! Root crate of the reproduction workspace: re-exports the component
+//! crates for the examples and cross-crate integration tests.
+//!
+//! * [`bh_core`] — the Barnes-Hut application and the five parallel
+//!   tree-building algorithms (the paper's contribution).
+//! * [`ssmp`] — the shared-address-space multiprocessor simulator (the
+//!   platform substrate).
+//! * [`bh_experiments`] — the harness regenerating every table and figure.
+
+pub use bh_core;
+pub use bh_experiments;
+pub use ssmp;

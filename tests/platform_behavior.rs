@@ -1,0 +1,135 @@
+//! Integration tests of the paper's qualitative claims on the simulated
+//! platforms — the behaviors every figure rests on.
+
+use bh_repro::bh_core::prelude::*;
+use bh_repro::ssmp::{platform, Machine};
+
+fn run(cost: &bh_repro::ssmp::CostModel, alg: Algorithm, n: usize, procs: usize) -> bh_repro::bh_core::app::RunStats {
+    let machine = Machine::new(cost.clone(), procs);
+    let mut cfg = SimConfig::new(alg);
+    cfg.warmup_steps = 1;
+    cfg.measured_steps = 1;
+    let stats = run_simulation(&machine, &cfg, &Model::Plummer.generate(n, 1998));
+    stats.assert_valid();
+    stats
+}
+
+#[test]
+fn space_is_lock_free_on_every_platform() {
+    for cost in platform::all_platforms(8) {
+        let stats = run(&cost, Algorithm::Space, 2048, 8);
+        let locks: u64 = stats.tree_locks_per_proc().iter().sum();
+        assert_eq!(locks, 0, "SPACE locked on {}", cost.name);
+    }
+}
+
+#[test]
+fn lock_count_ordering_matches_figure_15() {
+    // ORIG/LOCAL >= UPDATE-level >> PARTREE >> SPACE(=0).
+    let cost = platform::origin2000(8);
+    let locks = |alg| -> u64 { run(&cost, alg, 4096, 8).tree_locks_per_proc().iter().sum() };
+    let orig = locks(Algorithm::Orig);
+    let local = locks(Algorithm::Local);
+    let partree = locks(Algorithm::Partree);
+    let space = locks(Algorithm::Space);
+    assert!(orig >= 4096, "ORIG locks {orig} below one per body");
+    assert!(local >= 4096, "LOCAL locks {local} below one per body");
+    assert!(partree * 3 < local, "PARTREE {partree} not well below LOCAL {local}");
+    assert_eq!(space, 0);
+}
+
+#[test]
+fn svm_makes_lock_heavy_algorithms_tree_bound() {
+    // The paper's central result: on page-based SVM the tree build devours
+    // the step for the lock-per-body algorithms while SPACE keeps it small.
+    let cost = platform::typhoon0_hlrc(16);
+    let local = run(&cost, Algorithm::Local, 8192, 16);
+    let space = run(&cost, Algorithm::Space, 8192, 16);
+    assert!(
+        local.tree_fraction() > 0.5,
+        "LOCAL tree share {:.2} unexpectedly small on HLRC",
+        local.tree_fraction()
+    );
+    assert!(
+        space.tree_fraction() < 0.35,
+        "SPACE tree share {:.2} unexpectedly large on HLRC",
+        space.tree_fraction()
+    );
+    assert!(
+        space.total_time() * 2 < local.total_time(),
+        "SPACE ({}) not clearly faster than LOCAL ({}) on HLRC",
+        space.total_time(),
+        local.total_time()
+    );
+}
+
+#[test]
+fn hardware_coherence_keeps_all_algorithms_close() {
+    // On the Challenge every algorithm speeds up well (paper Figure 6):
+    // total times within ~25% of each other.
+    let cost = platform::challenge(8);
+    let times: Vec<u64> = Algorithm::ALL.iter().map(|&a| run(&cost, a, 8192, 8).total_time()).collect();
+    let min = *times.iter().min().unwrap() as f64;
+    let max = *times.iter().max().unwrap() as f64;
+    assert!(max / min < 1.3, "spread too large on Challenge: {times:?}");
+}
+
+#[test]
+fn tree_build_is_tiny_sequentially_on_every_platform() {
+    // The premise of the paper: <3% of a sequential step is tree building.
+    for cost in platform::all_platforms(1) {
+        let machine = Machine::new(cost.clone(), 1);
+        let mut cfg = SimConfig::new(Algorithm::Partree);
+        cfg.warmup_steps = 1;
+        cfg.measured_steps = 1;
+        let stats = run_simulation(&machine, &cfg, &Model::Plummer.generate(8192, 3));
+        stats.assert_valid();
+        assert!(
+            stats.tree_fraction() < 0.08,
+            "{}: sequential tree share {:.3}",
+            cost.name,
+            stats.tree_fraction()
+        );
+    }
+}
+
+#[test]
+fn page_faults_only_on_svm_platforms() {
+    let hw = run(&platform::origin2000(4), Algorithm::Local, 2048, 4);
+    let faults: u64 = hw.procs_records.iter().map(|r| r.final_stats.page_faults).sum();
+    assert_eq!(faults, 0, "page faults on a hardware-coherent platform");
+
+    let svm = run(&platform::typhoon0_hlrc(4), Algorithm::Local, 2048, 4);
+    let faults: u64 = svm.procs_records.iter().map(|r| r.final_stats.page_faults).sum();
+    assert!(faults > 0, "no page faults on an SVM platform");
+}
+
+#[test]
+fn remote_misses_only_on_distributed_eager_platforms() {
+    let stats = run(&platform::origin2000(4), Algorithm::Local, 2048, 4);
+    let remote: u64 = stats.procs_records.iter().map(|r| r.final_stats.remote_misses).sum();
+    assert!(remote > 0, "no remote misses on the Origin");
+}
+
+#[test]
+fn simulated_seconds_are_plausible() {
+    // Table 1 sanity: sequential step time in seconds grows with n and the
+    // slower machines take longer per cycle.
+    let n1 = 2048;
+    let n2 = 8192;
+    let origin = platform::origin2000(1);
+    let paragon = platform::paragon_hlrc(1);
+    let t = |cost: &bh_repro::ssmp::CostModel, n: usize| {
+        let machine = Machine::new(cost.clone(), 1);
+        let mut cfg = SimConfig::new(Algorithm::Partree);
+        cfg.warmup_steps = 1;
+        cfg.measured_steps = 2;
+        let stats = run_simulation(&machine, &cfg, &Model::Plummer.generate(n, 8));
+        cost.cycles_to_seconds(stats.total_time())
+    };
+    let o1 = t(&origin, n1);
+    let o2 = t(&origin, n2);
+    assert!(o2 > 3.0 * o1, "superlinear-in-n growth expected: {o1} vs {o2}");
+    let p1 = t(&paragon, n1);
+    assert!(p1 > 3.0 * o1, "Paragon ({p1}s) should be much slower than Origin ({o1}s)");
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the core data-structure invariants: for
+//! arbitrary body sets, every parallel tree-building algorithm must produce
+//! exactly the reference octree, costzones must produce a permutation with
+//! contiguous balanced zones, and the geometric primitives must obey their
+//! algebra.
+
+use bh_repro::bh_core::algorithms::{common, Algorithm, Builder};
+use bh_repro::bh_core::body::Body;
+use bh_repro::bh_core::harness::spmd;
+use bh_repro::bh_core::math::{morton, Cube, Vec3};
+use bh_repro::bh_core::partition::costzones;
+use bh_repro::bh_core::prelude::*;
+use bh_repro::bh_core::tree::validate;
+use proptest::prelude::*;
+
+/// Arbitrary body in a bounded box with positive mass.
+fn arb_body() -> impl Strategy<Value = Body> {
+    (
+        (-100.0..100.0f64, -100.0..100.0f64, -100.0..100.0f64),
+        (-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64),
+        0.001..10.0f64,
+    )
+        .prop_map(|((x, y, z), (vx, vy, vz), m)| {
+            Body::new(Vec3::new(x, y, z), Vec3::new(vx, vy, vz), m)
+        })
+}
+
+fn arb_bodies(max: usize) -> impl Strategy<Value = Vec<Body>> {
+    prop::collection::vec(arb_body(), 1..max)
+}
+
+/// Build one tree with `alg` on `procs` native threads and return it with
+/// the world.
+fn build_tree(bodies: &[Body], alg: Algorithm, procs: usize, k: usize) -> (NativeEnv, SharedTree, World) {
+    let env = NativeEnv::new(procs);
+    let world = World::new(&env, bodies);
+    let tree = SharedTree::new(&env, bodies.len(), k, alg.layout());
+    let builder = Builder::new(&env, alg, bodies.len(), k);
+    spmd(&env, |proc, ctx| {
+        let cube = common::bounds_phase(&env, ctx, &world, proc);
+        builder.build(&env, ctx, &tree, &world, proc, 0, cube);
+        env.barrier(ctx);
+        builder.com(&env, ctx, &tree, &world, proc, 0);
+        env.barrier(ctx);
+    });
+    drop(builder);
+    (env, tree, world)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_trees_match_sequential_reference(bodies in arb_bodies(300), k in 1usize..=8, procs in 1usize..=6) {
+        let reference = SeqTree::build(&bodies, k);
+        for alg in [Algorithm::Orig, Algorithm::Local, Algorithm::Partree, Algorithm::Space] {
+            let (_env, tree, world) = build_tree(&bodies, alg, procs, k);
+            validate::validate(&tree, &world.positions(), &world.masses(), true)
+                .map_err(|e| TestCaseError::fail(format!("{alg}: {e}")))?;
+            validate::matches_reference(&tree, &reference)
+                .map_err(|e| TestCaseError::fail(format!("{alg}: {e}")))?;
+        }
+    }
+
+    #[test]
+    fn costzones_is_a_balanced_contiguous_permutation(
+        bodies in arb_bodies(400),
+        procs in 1usize..=8,
+        costs in prop::collection::vec(1u32..1000, 400),
+    ) {
+        let (env, tree, world) = build_tree(&bodies, Algorithm::Local, procs, 8);
+        for i in 0..bodies.len() {
+            world.cost.poke(i, costs[i % costs.len()]);
+        }
+        // Rebuild so the tree's subtree cost sums reflect the new costs
+        // (costzones reads them to skip subtrees).
+        let builder = Builder::new(&env, Algorithm::Local, bodies.len(), 8);
+        spmd(&env, |proc, ctx| {
+            let cube = common::bounds_phase(&env, ctx, &world, proc);
+            builder.build(&env, ctx, &tree, &world, proc, 1, cube);
+            env.barrier(ctx);
+            builder.com(&env, ctx, &tree, &world, proc, 1);
+            env.barrier(ctx);
+            costzones(&env, ctx, &tree, &world, proc);
+            env.barrier(ctx);
+        });
+        // Permutation.
+        let mut seen = vec![false; bodies.len()];
+        for i in 0..bodies.len() {
+            let b = world.order.peek(i) as usize;
+            prop_assert!(!seen[b], "duplicate body {b}");
+            seen[b] = true;
+        }
+        // Contiguous monotone zones covering [0, n).
+        prop_assert_eq!(world.zone_start.peek(0), 0);
+        prop_assert_eq!(world.zone_start.peek(procs) as usize, bodies.len());
+        let total: u64 = (0..bodies.len()).map(|i| world.cost.peek(i) as u64).sum();
+        for q in 0..procs {
+            let (s, e) = world.zone(q);
+            prop_assert!(s <= e);
+            // Cost balance: a zone never exceeds its fair share by more than
+            // the largest single body cost plus rounding.
+            let zc: u64 = (s..e).map(|i| world.cost.peek(world.order.peek(i) as usize) as u64).sum();
+            let fair = total / procs as u64;
+            prop_assert!(zc <= fair + 1001, "zone {q} cost {zc} vs fair {fair}");
+        }
+    }
+
+    #[test]
+    fn morton_keys_follow_octree_descent(
+        x in -0.999..0.999f64, y in -0.999..0.999f64, z in -0.999..0.999f64, depth in 1u32..12
+    ) {
+        let root = Cube::new(Vec3::ZERO, 1.0);
+        let p = Vec3::new(x, y, z);
+        let key = morton::key_in_cube(p, &root);
+        let mut cube = root;
+        for oct in morton::octant_path(key, depth) {
+            prop_assert_eq!(oct, cube.octant_of(p));
+            cube = cube.octant(oct);
+            prop_assert!(cube.contains(p));
+        }
+    }
+
+    #[test]
+    fn octants_partition(cx in -10.0..10.0f64, h in 0.001..100.0f64, px in -1.0..1.0f64, py in -1.0..1.0f64, pz in -1.0..1.0f64) {
+        let cube = Cube::new(Vec3::new(cx, -cx, cx * 0.5), h);
+        let p = cube.center + Vec3::new(px, py, pz) * (h * 0.999);
+        prop_assert!(cube.contains(p));
+        let containing: usize = (0..8).filter(|&o| cube.octant(o).contains(p)).count();
+        prop_assert_eq!(containing, 1, "point must lie in exactly one octant");
+        prop_assert!(cube.octant(cube.octant_of(p)).contains(p));
+    }
+
+    #[test]
+    fn center_of_mass_is_inside_bounding_cube(bodies in arb_bodies(200)) {
+        let tree = SeqTree::build(&bodies, 4);
+        let com = match &tree.nodes[tree.root as usize] {
+            bh_repro::bh_core::tree::SeqNode::Cell { com, .. } => *com,
+            bh_repro::bh_core::tree::SeqNode::Leaf { com, .. } => *com,
+        };
+        prop_assert!(tree.cube.contains(com) || bodies.len() == 1);
+    }
+
+    #[test]
+    fn update_algorithm_stays_valid_under_motion(
+        bodies in arb_bodies(200),
+        jitters in prop::collection::vec((-0.5..0.5f64, -0.5..0.5f64, -0.5..0.5f64), 3),
+        procs in 1usize..=4,
+    ) {
+        let env = NativeEnv::new(procs);
+        let world = World::new(&env, &bodies);
+        let tree = SharedTree::new(&env, bodies.len(), 8, Algorithm::Update.layout());
+        let builder = Builder::new(&env, Algorithm::Update, bodies.len(), 8);
+        for (step, j) in jitters.iter().enumerate() {
+            spmd(&env, |proc, ctx| {
+                let cube = common::bounds_phase(&env, ctx, &world, proc);
+                builder.build(&env, ctx, &tree, &world, proc, step as u32, cube);
+                env.barrier(ctx);
+                builder.com(&env, ctx, &tree, &world, proc, step as u32);
+                env.barrier(ctx);
+            });
+            let summary = validate::validate_with(
+                &tree,
+                &world.positions(),
+                &world.masses(),
+                bh_repro::bh_core::tree::validate::ValidateOpts {
+                    check_summaries: true,
+                    allow_empty_cells: step > 0,
+                },
+            )
+            .map_err(|e| TestCaseError::fail(format!("step {step}: {e}")))?;
+            prop_assert_eq!(summary.bodies, bodies.len());
+            // Drift every body a little (scaled per body for variety).
+            for i in 0..bodies.len() {
+                let f = (i % 7) as f64 / 3.0;
+                world.pos.poke(i, world.pos.peek(i) + Vec3::new(j.0, j.1, j.2) * f);
+            }
+        }
+    }
+}
