@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints, the unsafe audit and the race-freedom
+# matrix, then the full test suite. Everything runs offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== unsafe audit =="
+cargo test --offline -q --test unsafe_audit
+
+echo "== race-freedom matrix =="
+cargo test --offline -q --test race_freedom
+
+echo "== build (release) =="
+cargo build --offline --release
+
+echo "== full test suite =="
+cargo test --offline -q --workspace
+
+echo "All checks passed."

@@ -73,7 +73,10 @@ pub fn insert_locked<E: Env>(
     let pos = world.pos.load(env, ctx, body as usize);
     let mut depth = 0;
     loop {
-        assert!(depth < MAX_DEPTH, "tree depth limit exceeded: >k coincident bodies?");
+        assert!(
+            depth < MAX_DEPTH,
+            "tree depth limit exceeded: >k coincident bodies?"
+        );
         env.compute(ctx, DESCEND_CYCLES);
         let oct = cube.octant_of(pos);
         // Optimistic lock-free descent through internal cells.
@@ -88,9 +91,20 @@ pub fn insert_locked<E: Env>(
         env.lock(ctx, cell.lock_id());
         let child = tree.child(env, ctx, cell, oct);
         if child.is_null() {
-            let leaf = new_leaf(env, ctx, tree, world, arena, owner, cell, oct, cube.octant(oct), body);
+            let leaf = new_leaf(
+                env,
+                ctx,
+                tree,
+                arena,
+                owner,
+                cell,
+                oct,
+                cube.octant(oct),
+                body,
+            );
             tree.set_child(env, ctx, cell, oct, leaf);
             tree.pending_add(env, ctx, cell, 1);
+            world.body_leaf.store(env, ctx, body as usize, leaf.0);
             env.unlock(ctx, cell.lock_id());
             return;
         }
@@ -117,15 +131,45 @@ pub fn insert_locked<E: Env>(
         // Full: subdivide. The replacement cell is built privately (it is
         // not yet visible to any other processor) and then published with a
         // single child-slot store, all while holding the parent's lock.
+        // `body_leaf` forwarding pointers are deferred and flushed only
+        // after publication: flushing them mid-build would let the UPDATE
+        // move phase discover a half-built leaf through `body_leaf` +
+        // `leaf_parent` and read it under the (unheld) sub-cell lock.
         env.compute(ctx, SUBDIVIDE_CYCLES);
         let sub_cube = cube.octant(oct);
         let sub = new_cell(env, ctx, tree, arena, owner, cell, oct, sub_cube);
+        let mut fwd = Vec::with_capacity(l.n as usize + 1);
         for &b in l.body_slice() {
-            insert_private(env, ctx, tree, world, arena, owner, b, sub, sub_cube, depth + 1);
+            insert_private(
+                env,
+                ctx,
+                tree,
+                world,
+                arena,
+                owner,
+                b,
+                sub,
+                sub_cube,
+                depth + 1,
+                &mut fwd,
+            );
         }
-        insert_private(env, ctx, tree, world, arena, owner, body, sub, sub_cube, depth + 1);
+        insert_private(
+            env,
+            ctx,
+            tree,
+            world,
+            arena,
+            owner,
+            body,
+            sub,
+            sub_cube,
+            depth + 1,
+            &mut fwd,
+        );
         retire_leaf(env, ctx, tree, leaf);
         tree.set_child(env, ctx, cell, oct, sub);
+        flush_forwards(env, ctx, world, &mut fwd);
         env.unlock(ctx, cell.lock_id());
         return;
     }
@@ -135,6 +179,12 @@ pub fn insert_locked<E: Env>(
 /// (unpublished, or wholly owned by partition) — no locking. Used by the
 /// subdivision path above, by PARTREE's local-tree construction, and by
 /// SPACE's subspace subtrees.
+///
+/// `body_leaf` forwarding updates are NOT stored here: they are pushed onto
+/// `fwd` (last entry for a body wins) and must be flushed by the caller via
+/// [`flush_forwards`] once the subtree is reachable — storing them while
+/// the subtree is still being built would leak not-yet-consistent leaves to
+/// the UPDATE algorithm's concurrent move phase.
 #[allow(clippy::too_many_arguments)]
 pub fn insert_private<E: Env>(
     env: &E,
@@ -147,17 +197,32 @@ pub fn insert_private<E: Env>(
     mut cell: NodeRef,
     mut cube: Cube,
     mut depth: usize,
+    fwd: &mut Vec<(u32, NodeRef)>,
 ) {
     let pos = world.pos.load(env, ctx, body as usize);
     loop {
-        assert!(depth < MAX_DEPTH, "tree depth limit exceeded: >k coincident bodies?");
+        assert!(
+            depth < MAX_DEPTH,
+            "tree depth limit exceeded: >k coincident bodies?"
+        );
         env.compute(ctx, DESCEND_CYCLES);
         let oct = cube.octant_of(pos);
         let child = tree.child(env, ctx, cell, oct);
         if child.is_null() {
-            let leaf = new_leaf(env, ctx, tree, world, arena, owner, cell, oct, cube.octant(oct), body);
+            let leaf = new_leaf(
+                env,
+                ctx,
+                tree,
+                arena,
+                owner,
+                cell,
+                oct,
+                cube.octant(oct),
+                body,
+            );
             tree.set_child(env, ctx, cell, oct, leaf);
             tree.pending_add(env, ctx, cell, 1);
+            fwd.push((body, leaf));
             return;
         }
         if child.is_cell() {
@@ -173,14 +238,26 @@ pub fn insert_private<E: Env>(
                 l.bodies[l.n as usize] = body;
                 l.n += 1;
             });
-            world.body_leaf.store(env, ctx, body as usize, leaf.0);
+            fwd.push((body, leaf));
             return;
         }
         env.compute(ctx, SUBDIVIDE_CYCLES);
         let sub_cube = cube.octant(oct);
         let sub = new_cell(env, ctx, tree, arena, owner, cell, oct, sub_cube);
         for &b in l.body_slice() {
-            insert_private(env, ctx, tree, world, arena, owner, b, sub, sub_cube, depth + 1);
+            insert_private(
+                env,
+                ctx,
+                tree,
+                world,
+                arena,
+                owner,
+                b,
+                sub,
+                sub_cube,
+                depth + 1,
+                fwd,
+            );
         }
         retire_leaf(env, ctx, tree, leaf);
         tree.set_child(env, ctx, cell, oct, sub);
@@ -219,7 +296,6 @@ fn new_leaf<E: Env>(
     env: &E,
     ctx: &mut E::Ctx,
     tree: &SharedTree,
-    world: &World,
     arena: usize,
     owner: usize,
     parent: NodeRef,
@@ -238,8 +314,21 @@ fn new_leaf<E: Env>(
     });
     tree.set_leaf_parent(env, ctx, leaf, parent);
     tree.set_leaf_bounds(env, ctx, leaf, cube);
-    world.body_leaf.store(env, ctx, body as usize, leaf.0);
     leaf
+}
+
+/// Flush deferred `body_leaf` forwarding updates collected by
+/// [`insert_private`], in push order (so the last placement of a body —
+/// after any intermediate private subdivisions — wins).
+pub fn flush_forwards<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    world: &World,
+    fwd: &mut Vec<(u32, NodeRef)>,
+) {
+    for (body, leaf) in fwd.drain(..) {
+        world.body_leaf.store(env, ctx, body as usize, leaf.0);
+    }
 }
 
 /// Mark a subdivided-away leaf dead (no recycling, no lock).
@@ -252,11 +341,22 @@ fn retire_leaf<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, leaf: NodeR
 /// that completes a cell's last child summarizes that cell and continues
 /// toward the root. Runs between two barriers; uses the per-cell pending
 /// counters, which it leaves restored to the cell's child count.
-pub fn com_pass<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, world: &World, proc: usize, step: u32) {
+pub fn com_pass<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    world: &World,
+    proc: usize,
+    step: u32,
+) {
     let len = tree.leaf_list_len[proc].load(env, ctx, 0) as usize;
     for i in 0..len {
         let leaf = NodeRef(tree.leaf_lists[proc].load(env, ctx, i));
-        let l = tree.load_leaf(env, ctx, leaf);
+        // Unordered read: a stale list entry may point at a leaf another
+        // processor re-listed and is concurrently summarizing (UPDATE). The
+        // guard below rejects exactly those entries; for entries that pass,
+        // this processor is the unique summarizer, so the record is stable.
+        let l = tree.load_leaf_relaxed(env, ctx, leaf);
         if !l.in_use || l.listed_by != proc as u8 || l.com_stamp == step {
             continue;
         }
@@ -288,14 +388,24 @@ pub fn summarize_leaf<E: Env>(
     env.compute(ctx, 8 * l.n as u64);
     tree.update_leaf(env, ctx, leaf, |out| {
         out.mass = mass;
-        out.com = if mass > 0.0 { weighted / mass } else { Vec3::ZERO };
+        out.com = if mass > 0.0 {
+            weighted / mass
+        } else {
+            Vec3::ZERO
+        };
         out.cost = cost;
         out.com_stamp = step;
     });
 }
 
 /// Propagate CoM completion upward from a completed child of `cell`.
-pub fn propagate_com<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, mut cell: NodeRef, step: u32) {
+pub fn propagate_com<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    mut cell: NodeRef,
+    step: u32,
+) {
     while !cell.is_null() {
         if tree.pending_sub(env, ctx, cell, 1) != 1 {
             // Other children still incomplete; their finisher will continue.
@@ -308,7 +418,13 @@ pub fn propagate_com<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, mut c
 
 /// Summarize a cell whose children are all complete; restores its pending
 /// counter to the child count and returns its parent.
-pub fn summarize_cell<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, cell: NodeRef, _step: u32) -> NodeRef {
+pub fn summarize_cell<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    cell: NodeRef,
+    _step: u32,
+) -> NodeRef {
     let mut mass = 0.0;
     let mut weighted = Vec3::ZERO;
     let mut cost = 0u64;
@@ -334,7 +450,11 @@ pub fn summarize_cell<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, cell
     env.compute(ctx, 40);
     let parent = tree.update_cell(env, ctx, cell, |c| {
         c.mass = mass;
-        c.com = if mass > 0.0 { weighted / mass } else { Vec3::ZERO };
+        c.com = if mass > 0.0 {
+            weighted / mass
+        } else {
+            Vec3::ZERO
+        };
         c.cost = cost;
         c.count = count;
         c.parent

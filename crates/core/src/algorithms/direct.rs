@@ -25,7 +25,14 @@ use crate::world::World;
 /// Tree-build phase of ORIG/LOCAL for one processor. The caller has already
 /// run the bounds phase; `cube` is the global root cube. Ends un-barriered:
 /// the application driver barriers after every build phase.
-pub fn build<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, world: &World, proc: usize, cube: Cube) {
+pub fn build<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    world: &World,
+    proc: usize,
+    cube: Cube,
+) {
     // Reset this processor's allocation bookkeeping, publish the root.
     tree.reset_for_rebuild(env, ctx, proc);
     env.barrier(ctx);
@@ -53,7 +60,12 @@ mod tests {
     use crate::tree::{SeqTree, SharedTree, TreeLayout};
     use crate::world::World;
 
-    fn run_build(n: usize, p: usize, k: usize, layout: TreeLayout) -> (NativeEnv, SharedTree, World, Vec<crate::body::Body>) {
+    fn run_build(
+        n: usize,
+        p: usize,
+        k: usize,
+        layout: TreeLayout,
+    ) -> (NativeEnv, SharedTree, World, Vec<crate::body::Body>) {
         let env = NativeEnv::new(p);
         let bodies = Model::Plummer.generate(n, 99);
         let world = World::new(&env, &bodies);

@@ -11,10 +11,9 @@ use crate::env::Env;
 use crate::math::Cube;
 use crate::tree::types::{SharedTree, TreeLayout};
 use crate::world::World;
-use serde::{Deserialize, Serialize};
 
 /// Which tree-building algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// SPLASH: shared global arrays, lock per modification.
     Orig,
@@ -29,8 +28,13 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    pub const ALL: [Algorithm; 5] =
-        [Algorithm::Orig, Algorithm::Local, Algorithm::Update, Algorithm::Partree, Algorithm::Space];
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Orig,
+        Algorithm::Local,
+        Algorithm::Update,
+        Algorithm::Partree,
+        Algorithm::Space,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -113,7 +117,9 @@ impl Builder {
         match self.alg {
             Algorithm::Orig | Algorithm::Local => direct::build(env, ctx, tree, world, proc, cube),
             Algorithm::Partree => partree::build(env, ctx, tree, world, proc, cube),
-            Algorithm::Space => space::build(env, ctx, tree, world, proc, cube, self.space_threshold),
+            Algorithm::Space => {
+                space::build(env, ctx, tree, world, proc, cube, self.space_threshold)
+            }
             Algorithm::Update => {
                 let scratch = self.update_scratch.as_ref().expect("UPDATE scratch");
                 update::build(env, ctx, tree, world, scratch, proc, step, cube)
@@ -164,7 +170,12 @@ mod tests {
     #[test]
     fn layouts() {
         assert_eq!(Algorithm::Orig.layout(), TreeLayout::GlobalArena);
-        for alg in [Algorithm::Local, Algorithm::Update, Algorithm::Partree, Algorithm::Space] {
+        for alg in [
+            Algorithm::Local,
+            Algorithm::Update,
+            Algorithm::Partree,
+            Algorithm::Space,
+        ] {
             assert_eq!(alg.layout(), TreeLayout::PerProcessor);
         }
     }

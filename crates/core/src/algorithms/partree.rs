@@ -9,14 +9,23 @@
 //! a cell in one tree represents exactly the same subspace as the
 //! corresponding cell in any other.
 
-use crate::algorithms::common::{create_root, insert_locked, insert_private, new_cell};
+use crate::algorithms::common::{
+    create_root, flush_forwards, insert_locked, insert_private, new_cell,
+};
 use crate::env::Env;
 use crate::math::Cube;
 use crate::tree::types::{NodeRef, SharedTree};
 use crate::world::World;
 
 /// Tree-build phase of PARTREE for one processor.
-pub fn build<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, world: &World, proc: usize, cube: Cube) {
+pub fn build<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    world: &World,
+    proc: usize,
+    cube: Cube,
+) {
     tree.reset_for_rebuild(env, ctx, proc);
     env.barrier(ctx);
     if proc == 0 {
@@ -28,14 +37,28 @@ pub fn build<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, world: &World
     let arena = tree.arena_of(proc);
     let local_root = new_cell(env, ctx, tree, arena, proc, NodeRef::NULL, 0, cube);
     let (s, e) = world.zone(proc);
+    let mut fwd = Vec::new();
     for i in s..e {
         let b = world.order.load(env, ctx, i);
-        insert_private(env, ctx, tree, world, arena, proc, b, local_root, cube, 0);
+        insert_private(
+            env, ctx, tree, world, arena, proc, b, local_root, cube, 0, &mut fwd,
+        );
     }
+    flush_forwards(env, ctx, world, &mut fwd);
 
     // Phase 2: MergeLocalTrees — attach whole subtrees into the global tree.
     let global_root = tree.root.load(env, ctx, 0);
-    merge_cell_into(env, ctx, tree, world, arena, proc, local_root, global_root, cube);
+    merge_cell_into(
+        env,
+        ctx,
+        tree,
+        world,
+        arena,
+        proc,
+        local_root,
+        global_root,
+        cube,
+    );
     // The local root itself is now an unreachable husk; mark it dead.
     tree.update_cell(env, ctx, local_root, |c| c.in_use = false);
 }
@@ -57,7 +80,18 @@ fn merge_cell_into<E: Env>(
     for oct in 0..8 {
         let lchild = tree.child(env, ctx, lcell, oct);
         if !lchild.is_null() {
-            attach(env, ctx, tree, world, arena, proc, gcell, oct, cube.octant(oct), lchild);
+            attach(
+                env,
+                ctx,
+                tree,
+                world,
+                arena,
+                proc,
+                gcell,
+                oct,
+                cube.octant(oct),
+                lchild,
+            );
         }
     }
 }
@@ -129,17 +163,26 @@ fn attach<E: Env>(
                 }
                 tree.retire_leaf(env, ctx, lnode);
             } else {
-                // Overflow: subdivide privately, then publish.
+                // Overflow: subdivide privately, then publish. Forwarding
+                // pointers are flushed only after publication (still under
+                // the global cell's lock) so the private subtree never
+                // leaks through `body_leaf`.
                 let sub = new_cell(env, ctx, tree, arena, proc, gcell, oct, sub_cube);
+                let mut fwd = Vec::with_capacity((gl.n + ll.n) as usize);
                 for &b in gl.body_slice() {
-                    insert_private(env, ctx, tree, world, arena, proc, b, sub, sub_cube, 0);
+                    insert_private(
+                        env, ctx, tree, world, arena, proc, b, sub, sub_cube, 0, &mut fwd,
+                    );
                 }
                 for &b in ll.body_slice() {
-                    insert_private(env, ctx, tree, world, arena, proc, b, sub, sub_cube, 0);
+                    insert_private(
+                        env, ctx, tree, world, arena, proc, b, sub, sub_cube, 0, &mut fwd,
+                    );
                 }
                 tree.retire_leaf(env, ctx, gleaf);
                 tree.retire_leaf(env, ctx, lnode);
                 tree.set_child(env, ctx, gcell, oct, sub);
+                flush_forwards(env, ctx, world, &mut fwd);
             }
             env.unlock(ctx, gcell.lock_id());
             return;
@@ -148,18 +191,29 @@ fn attach<E: Env>(
         // bodies down into the (still private) local subtree, then swap the
         // subtree into place.
         let gl = tree.load_leaf(env, ctx, gleaf);
+        let mut fwd = Vec::with_capacity(gl.n as usize);
         for &b in gl.body_slice() {
-            insert_private(env, ctx, tree, world, arena, proc, b, lnode, sub_cube, 0);
+            insert_private(
+                env, ctx, tree, world, arena, proc, b, lnode, sub_cube, 0, &mut fwd,
+            );
         }
         tree.retire_leaf(env, ctx, gleaf);
         reparent(env, ctx, tree, lnode, gcell, oct);
         tree.set_child(env, ctx, gcell, oct, lnode);
+        flush_forwards(env, ctx, world, &mut fwd);
         env.unlock(ctx, gcell.lock_id());
     }
 }
 
 /// Point a private node's parent link at its new global parent.
-fn reparent<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, node: NodeRef, parent: NodeRef, oct: usize) {
+fn reparent<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    node: NodeRef,
+    parent: NodeRef,
+    oct: usize,
+) {
     if node.is_cell() {
         tree.update_cell(env, ctx, node, |c| {
             c.parent = parent;

@@ -12,7 +12,7 @@
 //! force-calculation bodies), which the paper shows is a spectacular bargain
 //! on SVM platforms.
 
-use crate::algorithms::common::{create_root, insert_private, new_cell};
+use crate::algorithms::common::{self, create_root, insert_private, new_cell};
 use crate::env::Env;
 use crate::math::Cube;
 use crate::tree::types::{NodeRef, SharedTree};
@@ -189,10 +189,23 @@ pub fn build<E: Env>(
             }
             leaf
         } else {
-            let cell = new_cell(env, ctx, tree, arena, proc, sub.parent, sub.oct as usize, sub_cube);
+            let cell = new_cell(
+                env,
+                ctx,
+                tree,
+                arena,
+                proc,
+                sub.parent,
+                sub.oct as usize,
+                sub_cube,
+            );
+            let mut fwd = Vec::with_capacity(members.len());
             for &b in &members {
-                insert_private(env, ctx, tree, world, arena, proc, b, cell, sub_cube, 0);
+                insert_private(
+                    env, ctx, tree, world, arena, proc, b, cell, sub_cube, 0, &mut fwd,
+                );
             }
+            common::flush_forwards(env, ctx, world, &mut fwd);
             cell
         };
         // Attach: no lock needed — exactly one processor writes this slot.
@@ -231,12 +244,18 @@ fn subdivide_round<E: Env>(
                 tree.set_child(env, ctx, cell, oct, child);
                 tree.pending_add(env, ctx, cell, 1);
                 let new_slot = new_frontier.len() as u32;
-                assert!((new_slot as usize) < FRONTIER_CAP, "SPACE frontier overflow; raise the threshold");
+                assert!(
+                    (new_slot as usize) < FRONTIER_CAP,
+                    "SPACE frontier overflow; raise the threshold"
+                );
                 new_frontier.push(child.0);
                 new_slot
             } else {
                 let id = world.sp_nsub.fetch_add(env, ctx, 0, 1);
-                assert!((id as usize) < SUBSPACE_CAP, "SPACE subspace overflow; raise the threshold");
+                assert!(
+                    (id as usize) < SUBSPACE_CAP,
+                    "SPACE subspace overflow; raise the threshold"
+                );
                 let oc = c.cube().octant(oct);
                 world.sp_subspaces.store(
                     env,
@@ -258,7 +277,9 @@ fn subdivide_round<E: Env>(
     for (i, &f) in new_frontier.iter().enumerate() {
         world.sp_frontier.store(env, ctx, i, f);
     }
-    world.sp_frontier_len.store(env, ctx, 0, new_frontier.len() as u32);
+    world
+        .sp_frontier_len
+        .store(env, ctx, 0, new_frontier.len() as u32);
 }
 
 #[cfg(test)]
@@ -271,7 +292,13 @@ mod tests {
     use crate::tree::{SeqTree, SharedTree, TreeLayout};
     use crate::world::World;
 
-    fn run(n: usize, p: usize, k: usize, model: Model, threshold: usize) -> (NativeEnv, SharedTree, World, Vec<crate::body::Body>, u64) {
+    fn run(
+        n: usize,
+        p: usize,
+        k: usize,
+        model: Model,
+        threshold: usize,
+    ) -> (NativeEnv, SharedTree, World, Vec<crate::body::Body>, u64) {
         let env = NativeEnv::new(p);
         let bodies = model.generate(n, 55);
         let world = World::new(&env, &bodies);
@@ -301,11 +328,13 @@ mod tests {
 
     fn check(n: usize, p: usize, k: usize, model: Model, threshold: usize) -> u64 {
         let (_env, tree, world, bodies, locks) = run(n, p, k, model, threshold);
-        validate::validate(&tree, &world.positions(), &world.masses(), true)
-            .unwrap_or_else(|e| panic!("invalid SPACE tree (n={n} p={p} k={k} t={threshold}): {e}"));
+        validate::validate(&tree, &world.positions(), &world.masses(), true).unwrap_or_else(|e| {
+            panic!("invalid SPACE tree (n={n} p={p} k={k} t={threshold}): {e}")
+        });
         let reference = SeqTree::build(&bodies, k);
-        validate::matches_reference(&tree, &reference)
-            .unwrap_or_else(|e| panic!("SPACE structure mismatch (n={n} p={p} k={k} t={threshold}): {e}"));
+        validate::matches_reference(&tree, &reference).unwrap_or_else(|e| {
+            panic!("SPACE structure mismatch (n={n} p={p} k={k} t={threshold}): {e}")
+        });
         locks
     }
 
@@ -326,7 +355,13 @@ mod tests {
 
     #[test]
     fn matches_reference_clusters() {
-        check(2000, 8, 4, Model::TwoClusterCollision, default_threshold(2000, 8, 4));
+        check(
+            2000,
+            8,
+            4,
+            Model::TwoClusterCollision,
+            default_threshold(2000, 8, 4),
+        );
     }
 
     #[test]

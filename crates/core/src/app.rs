@@ -14,10 +14,9 @@ use crate::tree::types::SharedTree;
 use crate::tree::validate::{validate_with, ValidateOpts};
 use crate::update_phase::update_phase;
 use crate::world::World;
-use serde::{Deserialize, Serialize};
 
 /// Full simulation configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     pub algorithm: Algorithm,
     /// Leaf threshold k (bodies per leaf before subdivision).
@@ -53,7 +52,7 @@ impl SimConfig {
 /// Time spent in each phase of one step, in the environment's time unit
 /// (wall nanoseconds natively, simulated cycles under `ssmp`). Measured at
 /// barrier boundaries, so a phase time includes any load-imbalance wait.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseSample {
     /// Bounds reduction + tree build + center-of-mass pass.
     pub tree: u64,
@@ -72,7 +71,7 @@ impl PhaseSample {
 }
 
 /// Everything one processor recorded over the measured steps.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ProcRecord {
     pub proc: usize,
     pub steps: Vec<PhaseSample>,
@@ -90,7 +89,7 @@ pub struct ProcRecord {
 }
 
 /// Result of a full run.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct RunStats {
     pub algorithm: Algorithm,
     pub n: usize,
@@ -167,7 +166,11 @@ pub fn run_simulation<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> RunS
 
 /// Run the application and also return the final body state (for examples
 /// and physics tests).
-pub fn run_simulation_with_state<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Vec<Body>) {
+pub fn run_simulation_with_state<E: Env>(
+    env: &E,
+    cfg: &SimConfig,
+    bodies: &[Body],
+) -> (RunStats, Vec<Body>) {
     run_inner(env, cfg, bodies)
 }
 
@@ -182,7 +185,8 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
     let total_steps = cfg.warmup_steps + cfg.measured_steps;
     // Positions as of the last tree build, captured for validation (the
     // final update phase moves bodies after the tree was summarized).
-    let tree_snapshot: parking_lot::Mutex<Option<Vec<crate::math::Vec3>>> = parking_lot::Mutex::new(None);
+    let tree_snapshot: crate::sync::Mutex<Option<Vec<crate::math::Vec3>>> =
+        crate::sync::Mutex::new(None);
 
     let procs_records = spmd(env, |proc, ctx| {
         let mut rec = ProcRecord {
@@ -247,12 +251,18 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
     });
 
     let validation_error = if cfg.validate {
-        let positions = tree_snapshot.lock().take().unwrap_or_else(|| world.positions());
+        let positions = tree_snapshot
+            .lock()
+            .take()
+            .unwrap_or_else(|| world.positions());
         validate_with(
             &tree,
             &positions,
             &world.masses(),
-            ValidateOpts { check_summaries: true, allow_empty_cells: builder.may_leave_husks() },
+            ValidateOpts {
+                check_summaries: true,
+                allow_empty_cells: builder.may_leave_husks(),
+            },
         )
         .err()
     } else {

@@ -1,11 +1,10 @@
 //! Body (particle) state.
 
 use crate::math::{Aabb, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A single body of the N-body system: the unit of work for tree building,
 /// force computation and position update.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Body {
     pub pos: Vec3,
     pub vel: Vec3,

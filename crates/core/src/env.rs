@@ -8,7 +8,7 @@
 //! * **a timing account** — hooks (`read`, `write`, `compute`) through which
 //!   the algorithm reports its shared-memory accesses and local computation.
 //!
-//! [`NativeEnv`] maps synchronization to `parking_lot`/`std` primitives and
+//! [`NativeEnv`] maps synchronization to `std`-based primitives and
 //! ignores the timing hooks: algorithms then run at full native speed on the
 //! host. The `ssmp` crate provides `SimEnv`, which additionally routes every
 //! access through a coherence-protocol cost model and advances a per-processor
@@ -16,8 +16,7 @@
 //! an SGI Challenge, an Intel Paragon under HLRC shared virtual memory, or a
 //! Typhoon-zero, reproducing the paper's cross-platform study.
 
-use parking_lot::lock_api::RawMutex as _;
-use parking_lot::RawMutex;
+use crate::sync::RawLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
@@ -43,7 +42,7 @@ pub enum Placement {
 }
 
 /// Per-context statistics an environment can report after a run.
-#[derive(Debug, Default, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct CtxStats {
     /// Current time: nanoseconds (native) or simulated cycles (ssmp).
     pub time: u64,
@@ -88,9 +87,45 @@ pub trait Env: Sync {
     fn write(&self, ctx: &mut Self::Ctx, addr: VAddr, bytes: u32);
 
     /// Account for an atomic read-modify-write (defaults to read + write).
+    /// An RMW carries acquire *and* release semantics: checking
+    /// environments treat it as a synchronization edge on `addr`.
     fn rmw(&self, ctx: &mut Self::Ctx, addr: VAddr, bytes: u32) {
         self.read(ctx, addr, bytes);
         self.write(ctx, addr, bytes);
+    }
+
+    /// Account for an atomic load with acquire semantics. Cost models treat
+    /// it as a plain read; checking environments use the distinction to
+    /// model the happens-before edge instead of reporting a data race.
+    fn read_atomic(&self, ctx: &mut Self::Ctx, addr: VAddr, bytes: u32) {
+        self.read(ctx, addr, bytes);
+    }
+
+    /// Account for an atomic store with release semantics. See
+    /// [`Env::read_atomic`].
+    fn write_atomic(&self, ctx: &mut Self::Ctx, addr: VAddr, bytes: u32) {
+        self.write(ctx, addr, bytes);
+    }
+
+    /// Ordering-model hook invoked *after* the real atomic operation that an
+    /// [`Env::rmw`] or [`Env::read_atomic`] call accounted for has executed.
+    ///
+    /// Cost models ignore it (no time or traffic is charged — the default is
+    /// a no-op). Checking environments use it for the acquire side of the
+    /// synchronization edge: the instrumentation call necessarily runs at a
+    /// different instant than the real atomic it describes, and the sound
+    /// protocol is *publish before the real operation, acquire after it*
+    /// (see [`crate::check`]). Callers performing a real acquiring atomic
+    /// must therefore invoke the accounting call first, the real operation
+    /// second, and `atomic_commit` third.
+    fn atomic_commit(&self, _ctx: &mut Self::Ctx, _addr: VAddr, _bytes: u32) {}
+
+    /// Account for a deliberately unordered (relaxed, possibly torn) read:
+    /// an optimistic pre-check whose result is re-validated under proper
+    /// synchronization before being acted on. Cost models charge it as a
+    /// read; checking environments exempt it from race reporting.
+    fn read_unordered(&self, ctx: &mut Self::Ctx, addr: VAddr, bytes: u32) {
+        self.read(ctx, addr, bytes);
     }
 
     /// Account for `cycles` of purely local computation.
@@ -132,19 +167,11 @@ pub fn lock_slot(id: usize, table: usize) -> usize {
     }
 }
 
-struct TableMutex(RawMutex);
-
-impl TableMutex {
-    const fn new() -> Self {
-        TableMutex(RawMutex::INIT)
-    }
-}
-
 /// The native execution environment: real threads, real locks, zero timing
 /// overhead. `read`/`write`/`compute` are no-ops that compile away.
 pub struct NativeEnv {
     procs: usize,
-    locks: Box<[TableMutex]>,
+    locks: Box<[RawLock]>,
     barrier: Barrier,
     start: Instant,
     next_addr: AtomicU64,
@@ -161,7 +188,7 @@ pub struct NativeCtx {
 impl NativeEnv {
     pub fn new(procs: usize) -> Self {
         assert!(procs > 0, "need at least one processor");
-        let locks = (0..NATIVE_LOCK_TABLE).map(|_| TableMutex::new()).collect();
+        let locks = (0..NATIVE_LOCK_TABLE).map(|_| RawLock::new()).collect();
         NativeEnv {
             procs,
             locks,
@@ -186,7 +213,12 @@ impl Env for NativeEnv {
 
     fn make_ctx(&self, proc: usize) -> NativeCtx {
         assert!(proc < self.procs);
-        NativeCtx { proc, lock_acquires: 0, lock_wait_ns: 0, barrier_wait_ns: 0 }
+        NativeCtx {
+            proc,
+            lock_acquires: 0,
+            lock_wait_ns: 0,
+            barrier_wait_ns: 0,
+        }
     }
 
     fn alloc(&self, bytes: u64, align: u64, _place: Placement) -> VAddr {
@@ -216,7 +248,7 @@ impl Env for NativeEnv {
     fn compute(&self, _ctx: &mut NativeCtx, _cycles: u64) {}
 
     fn lock(&self, ctx: &mut NativeCtx, lock: usize) {
-        let m = &self.locks[lock_slot(lock, NATIVE_LOCK_TABLE)].0;
+        let m = &self.locks[lock_slot(lock, NATIVE_LOCK_TABLE)];
         ctx.lock_acquires += 1;
         if !m.try_lock() {
             let t0 = Instant::now();
@@ -226,9 +258,7 @@ impl Env for NativeEnv {
     }
 
     fn unlock(&self, _ctx: &mut NativeCtx, lock: usize) {
-        // SAFETY: the `Env` contract requires `unlock` to pair with a
-        // previous `lock` of the same id by this thread.
-        unsafe { self.locks[lock_slot(lock, NATIVE_LOCK_TABLE)].0.unlock() }
+        self.locks[lock_slot(lock, NATIVE_LOCK_TABLE)].unlock()
     }
 
     fn barrier(&self, ctx: &mut NativeCtx) {
@@ -271,6 +301,7 @@ mod tests {
         let env = NativeEnv::new(4);
         let counter = std::cell::UnsafeCell::new(0u64);
         struct Wrap(std::cell::UnsafeCell<u64>);
+        // SAFETY: the cell is only mutated while holding lock 7 below.
         unsafe impl Sync for Wrap {}
         let shared = Wrap(counter);
         const ITERS: u64 = 20_000;
@@ -289,6 +320,7 @@ mod tests {
                 });
             }
         });
+        // SAFETY: all worker threads have joined; no concurrent access.
         assert_eq!(unsafe { *shared.0.get() }, 4 * ITERS);
     }
 

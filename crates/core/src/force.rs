@@ -13,10 +13,9 @@ use crate::math::Vec3;
 use crate::tree::seq::{SeqNode, SeqTree};
 use crate::tree::types::{NodeRef, SharedTree};
 use crate::world::World;
-use serde::{Deserialize, Serialize};
 
 /// Physics and accuracy parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ForceParams {
     /// Barnes-Hut opening angle θ; smaller is more accurate and more work.
     pub theta: f64,
@@ -28,7 +27,11 @@ pub struct ForceParams {
 
 impl Default for ForceParams {
     fn default() -> Self {
-        ForceParams { theta: 1.0, eps: 0.05, gravity: 1.0 }
+        ForceParams {
+            theta: 1.0,
+            eps: 0.05,
+            gravity: 1.0,
+        }
     }
 }
 
@@ -64,7 +67,18 @@ pub fn force_phase<E: Env>(
         let pos = world.pos.load(env, ctx, b as usize);
         let mut acc = Vec3::ZERO;
         let mut interactions = 0u32;
-        body_force(env, ctx, tree, world, params, b, pos, root, &mut acc, &mut interactions);
+        body_force(
+            env,
+            ctx,
+            tree,
+            world,
+            params,
+            b,
+            pos,
+            root,
+            &mut acc,
+            &mut interactions,
+        );
         world.acc.store(env, ctx, b as usize, acc);
         world.cost.store(env, ctx, b as usize, interactions.max(1));
     }
@@ -112,7 +126,18 @@ fn body_force<E: Env>(
     }
     for ch in tree.children(env, ctx, node) {
         if !ch.is_null() {
-            body_force(env, ctx, tree, world, params, body, pos, ch, acc, interactions);
+            body_force(
+                env,
+                ctx,
+                tree,
+                world,
+                params,
+                body,
+                pos,
+                ch,
+                acc,
+                interactions,
+            );
         }
     }
 }
@@ -122,11 +147,27 @@ fn body_force<E: Env>(
 // ---------------------------------------------------------------------------
 
 /// Compute the acceleration on a single position over the sequential tree.
-pub fn seq_accel(tree: &SeqTree, bodies_pos: &[Vec3], bodies_mass: &[f64], body: u32, params: &ForceParams) -> (Vec3, u32) {
+pub fn seq_accel(
+    tree: &SeqTree,
+    bodies_pos: &[Vec3],
+    bodies_mass: &[f64],
+    body: u32,
+    params: &ForceParams,
+) -> (Vec3, u32) {
     let pos = bodies_pos[body as usize];
     let mut acc = Vec3::ZERO;
     let mut interactions = 0;
-    seq_walk(tree, tree.root, bodies_pos, bodies_mass, body, pos, params, &mut acc, &mut interactions);
+    seq_walk(
+        tree,
+        tree.root,
+        bodies_pos,
+        bodies_mass,
+        body,
+        pos,
+        params,
+        &mut acc,
+        &mut interactions,
+    );
     (acc, interactions)
 }
 
@@ -148,11 +189,22 @@ fn seq_walk(
                 if ob == body {
                     continue;
                 }
-                *acc += pair_accel(pos, bodies_pos[ob as usize], bodies_mass[ob as usize], params);
+                *acc += pair_accel(
+                    pos,
+                    bodies_pos[ob as usize],
+                    bodies_mass[ob as usize],
+                    params,
+                );
                 *interactions += 1;
             }
         }
-        SeqNode::Cell { child, com, mass, cube, .. } => {
+        SeqNode::Cell {
+            child,
+            com,
+            mass,
+            cube,
+            ..
+        } => {
             if *mass == 0.0 {
                 return;
             }
@@ -165,7 +217,17 @@ fn seq_walk(
             }
             for &ch in child {
                 if ch != -1 {
-                    seq_walk(tree, ch, bodies_pos, bodies_mass, body, pos, params, acc, interactions);
+                    seq_walk(
+                        tree,
+                        ch,
+                        bodies_pos,
+                        bodies_mass,
+                        body,
+                        pos,
+                        params,
+                        acc,
+                        interactions,
+                    );
                 }
             }
         }
@@ -173,7 +235,12 @@ fn seq_walk(
 }
 
 /// Direct O(n²) summation — the accuracy oracle for tests.
-pub fn direct_accel(bodies_pos: &[Vec3], bodies_mass: &[f64], body: u32, params: &ForceParams) -> Vec3 {
+pub fn direct_accel(
+    bodies_pos: &[Vec3],
+    bodies_mass: &[f64],
+    body: u32,
+    params: &ForceParams,
+) -> Vec3 {
     let pos = bodies_pos[body as usize];
     let mut acc = Vec3::ZERO;
     for (i, (&p, &m)) in bodies_pos.iter().zip(bodies_mass.iter()).enumerate() {
@@ -193,7 +260,11 @@ mod tests {
 
     #[test]
     fn pair_accel_points_toward_source() {
-        let params = ForceParams { theta: 1.0, eps: 0.0, gravity: 1.0 };
+        let params = ForceParams {
+            theta: 1.0,
+            eps: 0.0,
+            gravity: 1.0,
+        };
         let a = pair_accel(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), 8.0, &params);
         assert!(a.x > 0.0 && a.y == 0.0 && a.z == 0.0);
         // |a| = G m / r^2 = 8 / 4 = 2.
@@ -202,9 +273,16 @@ mod tests {
 
     #[test]
     fn softening_bounds_close_encounters() {
-        let params = ForceParams { theta: 1.0, eps: 0.1, gravity: 1.0 };
+        let params = ForceParams {
+            theta: 1.0,
+            eps: 0.1,
+            gravity: 1.0,
+        };
         let a = pair_accel(Vec3::ZERO, Vec3::new(1e-12, 0.0, 0.0), 1.0, &params);
-        assert!(a.norm() < 1.0 / (0.1 * 0.1), "softened force must stay bounded");
+        assert!(
+            a.norm() < 1.0 / (0.1 * 0.1),
+            "softened force must stay bounded"
+        );
     }
 
     #[test]
@@ -213,7 +291,11 @@ mod tests {
         let pos: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
         let mass: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
         let tree = SeqTree::build(&bodies, 8);
-        let params = ForceParams { theta: 0.5, eps: 0.05, gravity: 1.0 };
+        let params = ForceParams {
+            theta: 0.5,
+            eps: 0.05,
+            gravity: 1.0,
+        };
         let mut worst = 0.0f64;
         for b in (0..600).step_by(17) {
             let (bh, _) = seq_accel(&tree, &pos, &mass, b, &params);
@@ -231,7 +313,11 @@ mod tests {
         let pos: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
         let mass: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
         let tree = SeqTree::build(&bodies, 4);
-        let params = ForceParams { theta: 1e-9, eps: 0.05, gravity: 1.0 };
+        let params = ForceParams {
+            theta: 1e-9,
+            eps: 0.05,
+            gravity: 1.0,
+        };
         for b in [0u32, 13, 57, 99] {
             let (bh, ints) = seq_accel(&tree, &pos, &mass, b, &params);
             let exact = direct_accel(&pos, &mass, b, &params);
@@ -246,8 +332,14 @@ mod tests {
         let pos: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
         let mass: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
         let tree = SeqTree::build(&bodies, 8);
-        let loose = ForceParams { theta: 1.2, ..Default::default() };
-        let tight = ForceParams { theta: 0.3, ..Default::default() };
+        let loose = ForceParams {
+            theta: 1.2,
+            ..Default::default()
+        };
+        let tight = ForceParams {
+            theta: 0.3,
+            ..Default::default()
+        };
         let (_, n_loose) = seq_accel(&tree, &pos, &mass, 0, &loose);
         let (_, n_tight) = seq_accel(&tree, &pos, &mass, 0, &tight);
         assert!(n_loose < n_tight, "loose {n_loose} vs tight {n_tight}");

@@ -28,9 +28,12 @@
 //! println!("tree build took {:.1}% of the step", 100.0 * stats.tree_fraction());
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod algorithms;
 pub mod app;
 pub mod body;
+pub mod check;
 pub mod env;
 pub mod force;
 pub mod harness;
@@ -38,8 +41,10 @@ pub mod math;
 pub mod model;
 pub mod partition;
 pub mod partition_orb;
+pub mod rng;
 pub mod seq_app;
 pub mod shared;
+pub mod sync;
 pub mod tree;
 pub mod update_phase;
 pub mod world;
@@ -49,6 +54,7 @@ pub mod prelude {
     pub use crate::algorithms::Algorithm;
     pub use crate::app::{run_simulation, run_simulation_with_state, RunStats, SimConfig};
     pub use crate::body::Body;
+    pub use crate::check::{CheckedEnv, Granularity, RaceReport};
     pub use crate::env::{Env, NativeEnv, Placement};
     pub use crate::force::ForceParams;
     pub use crate::math::{Aabb, Cube, Vec3};

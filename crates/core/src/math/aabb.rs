@@ -62,7 +62,11 @@ impl Cube {
         let q = self.half * 0.5;
         let sign = |bit: usize| if oct >> bit & 1 == 1 { q } else { -q };
         Cube {
-            center: Vec3::new(self.center.x + sign(0), self.center.y + sign(1), self.center.z + sign(2)),
+            center: Vec3::new(
+                self.center.x + sign(0),
+                self.center.y + sign(1),
+                self.center.z + sign(2),
+            ),
             half: q,
         }
     }
@@ -74,7 +78,10 @@ impl Cube {
         let center = (bbox.min + bbox.max) * 0.5;
         let half = ((bbox.max - bbox.min).max_component() * 0.5).max(f64::MIN_POSITIVE);
         // Inflate so points exactly on the max faces stay strictly inside.
-        Cube { center, half: half * 1.000_001 + 1e-12 }
+        Cube {
+            center,
+            half: half * 1.000_001 + 1e-12,
+        }
     }
 
     /// Minimum distance from point `p` to the cube surface (0 if inside).
@@ -178,7 +185,11 @@ mod tests {
         for ix in -4..4 {
             for iy in -4..4 {
                 for iz in -4..4 {
-                    let p = Vec3::new(ix as f64 / 4.0 + 0.01, iy as f64 / 4.0 + 0.01, iz as f64 / 4.0 + 0.01);
+                    let p = Vec3::new(
+                        ix as f64 / 4.0 + 0.01,
+                        iy as f64 / 4.0 + 0.01,
+                        iz as f64 / 4.0 + 0.01,
+                    );
                     if !c.contains(p) {
                         continue;
                     }

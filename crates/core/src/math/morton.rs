@@ -59,7 +59,11 @@ pub fn key_in_cube(p: Vec3, root: &Cube) -> u64 {
         t.clamp(0.0, max) as u64
     };
     let lo = root.center - Vec3::splat(root.half);
-    encode(quantize(p.x, lo.x), quantize(p.y, lo.y), quantize(p.z, lo.z))
+    encode(
+        quantize(p.x, lo.x),
+        quantize(p.y, lo.y),
+        quantize(p.z, lo.z),
+    )
 }
 
 /// The octant path of a Morton key truncated to `depth` levels, most
@@ -78,7 +82,12 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for &(x, y, z) in &[(0u64, 0, 0), (1, 2, 3), (0x1f_ffff, 0x1f_ffff, 0x1f_ffff), (12345, 67890, 999)] {
+        for &(x, y, z) in &[
+            (0u64, 0, 0),
+            (1, 2, 3),
+            (0x1f_ffff, 0x1f_ffff, 0x1f_ffff),
+            (12345, 67890, 999),
+        ] {
             let k = encode(x, y, z);
             assert_eq!(decode(k), (x, y, z));
         }
@@ -110,7 +119,11 @@ mod tests {
         let key = key_in_cube(p, &root);
         let mut cube = root;
         for oct in octant_path(key, 8) {
-            assert_eq!(oct, cube.octant_of(p), "octant path diverged at cube {cube:?}");
+            assert_eq!(
+                oct,
+                cube.octant_of(p),
+                "octant path diverged at cube {cube:?}"
+            );
             cube = cube.octant(oct);
             assert!(cube.contains(p));
         }

@@ -10,12 +10,10 @@
 
 use crate::body::Body;
 use crate::math::Vec3;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::SmallRng;
 
 /// Which initial body distribution to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Model {
     /// Plummer (1911) stellar cluster model — the SPLASH-2 `barnes` default.
     Plummer,
@@ -29,7 +27,7 @@ impl Model {
     /// Generate `n` bodies with the given RNG seed. Deterministic for a
     /// given `(model, n, seed)` triple.
     pub fn generate(self, n: usize, seed: u64) -> Vec<Body> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         match self {
             Model::Plummer => plummer(n, &mut rng, Vec3::ZERO, Vec3::ZERO, 1.0),
             Model::UniformSphere => uniform_sphere(n, &mut rng),
@@ -39,9 +37,13 @@ impl Model {
 }
 
 /// Uniform random point in the unit ball.
-fn unit_ball(rng: &mut StdRng) -> Vec3 {
+fn unit_ball(rng: &mut SmallRng) -> Vec3 {
     loop {
-        let p = Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+        let p = Vec3::new(
+            rng.gen_range(-1.0, 1.0),
+            rng.gen_range(-1.0, 1.0),
+            rng.gen_range(-1.0, 1.0),
+        );
         if p.norm_sq() <= 1.0 {
             return p;
         }
@@ -49,7 +51,7 @@ fn unit_ball(rng: &mut StdRng) -> Vec3 {
 }
 
 /// Uniform random direction.
-fn unit_vector(rng: &mut StdRng) -> Vec3 {
+fn unit_vector(rng: &mut SmallRng) -> Vec3 {
     loop {
         let p = unit_ball(rng);
         if let Some(u) = p.normalized() {
@@ -61,7 +63,13 @@ fn unit_vector(rng: &mut StdRng) -> Vec3 {
 /// The Plummer model in virial units (total mass 1, E = -1/4), following
 /// Aarseth, Henon & Wielen (1974) — the same construction as SPLASH-2's
 /// `testdata.C`.
-fn plummer(n: usize, rng: &mut StdRng, offset_pos: Vec3, offset_vel: Vec3, mass_scale: f64) -> Vec<Body> {
+fn plummer(
+    n: usize,
+    rng: &mut SmallRng,
+    offset_pos: Vec3,
+    offset_vel: Vec3,
+    mass_scale: f64,
+) -> Vec<Body> {
     assert!(n > 0, "cannot generate an empty Plummer model");
     let mut bodies = Vec::with_capacity(n);
     let rsc = 3.0 * std::f64::consts::PI / 16.0; // radius scale to virial units
@@ -71,7 +79,7 @@ fn plummer(n: usize, rng: &mut StdRng, offset_pos: Vec3, offset_vel: Vec3, mass_
         // Radius from the cumulative mass profile, rejecting the far tail so
         // the bounding cube stays finite and representative.
         let r = loop {
-            let m: f64 = rng.gen_range(1e-8..0.999);
+            let m: f64 = rng.gen_range(1e-8, 0.999);
             let r = (m.powf(-2.0 / 3.0) - 1.0).powf(-0.5);
             if r < 9.0 {
                 break r;
@@ -81,8 +89,8 @@ fn plummer(n: usize, rng: &mut StdRng, offset_pos: Vec3, offset_vel: Vec3, mass_
 
         // Velocity magnitude by von Neumann rejection from q^2 (1-q^2)^{7/2}.
         let q = loop {
-            let x: f64 = rng.gen_range(0.0..1.0);
-            let y: f64 = rng.gen_range(0.0..0.1);
+            let x: f64 = rng.gen_range(0.0, 1.0);
+            let y: f64 = rng.gen_range(0.0, 0.1);
             if y < x * x * (1.0 - x * x).powf(3.5) {
                 break x;
             }
@@ -103,14 +111,14 @@ fn plummer(n: usize, rng: &mut StdRng, offset_pos: Vec3, offset_vel: Vec3, mass_
     bodies
 }
 
-fn uniform_sphere(n: usize, rng: &mut StdRng) -> Vec<Body> {
+fn uniform_sphere(n: usize, rng: &mut SmallRng) -> Vec<Body> {
     let mass = 1.0 / n as f64;
     (0..n)
         .map(|_| Body::new(unit_ball(rng), unit_ball(rng) * 0.1, mass))
         .collect()
 }
 
-fn two_clusters(n: usize, rng: &mut StdRng) -> Vec<Body> {
+fn two_clusters(n: usize, rng: &mut SmallRng) -> Vec<Body> {
     let n1 = n / 2;
     let n2 = n - n1;
     let sep = Vec3::new(4.0, 0.3, 0.0);
@@ -167,7 +175,12 @@ mod tests {
         let bodies = Model::Plummer.generate(4000, 3);
         let rmax = bodies.iter().map(|b| b.pos.norm()).fold(0.0, f64::max);
         let inner = bodies.iter().filter(|b| b.pos.norm() < rmax / 4.0).count();
-        assert!(inner * 2 > bodies.len(), "inner {} of {}", inner, bodies.len());
+        assert!(
+            inner * 2 > bodies.len(),
+            "inner {} of {}",
+            inner,
+            bodies.len()
+        );
     }
 
     #[test]
@@ -190,7 +203,11 @@ mod tests {
     #[test]
     fn odd_body_counts_supported() {
         for n in [1usize, 3, 17, 1001] {
-            for model in [Model::Plummer, Model::UniformSphere, Model::TwoClusterCollision] {
+            for model in [
+                Model::Plummer,
+                Model::UniformSphere,
+                Model::TwoClusterCollision,
+            ] {
                 assert_eq!(model.generate(n, 5).len(), n, "{model:?} n={n}");
             }
         }

@@ -46,7 +46,9 @@ pub fn costzones<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, world: &W
         world.zone_start.store(env, ctx, proc, world.n as u32);
     }
     if proc == 0 {
-        world.zone_start.store(env, ctx, nproc as usize, world.n as u32);
+        world
+            .zone_start
+            .store(env, ctx, nproc as usize, world.n as u32);
     }
 }
 
@@ -85,7 +87,9 @@ fn walk<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, z: &mut Zoner, cel
             for &b in l.body_slice() {
                 let q = zone_of(z.cost_prefix, z.nproc, z.total);
                 if q >= z.proc && !z.start_written {
-                    z.world.zone_start.store(env, ctx, z.proc as usize, z.body_prefix);
+                    z.world
+                        .zone_start
+                        .store(env, ctx, z.proc as usize, z.body_prefix);
                     z.start_written = true;
                 }
                 if q == z.proc {
@@ -111,7 +115,11 @@ mod tests {
     use crate::tree::{SharedTree, TreeLayout};
     use crate::world::World;
 
-    fn build_and_zone(n: usize, p: usize, costs: Option<Box<dyn Fn(usize) -> u32 + Sync>>) -> (NativeEnv, World) {
+    fn build_and_zone(
+        n: usize,
+        p: usize,
+        costs: Option<Box<dyn Fn(usize) -> u32 + Sync>>,
+    ) -> (NativeEnv, World) {
         let env = NativeEnv::new(p);
         let bodies = Model::Plummer.generate(n, 23);
         let world = World::new(&env, &bodies);
@@ -144,7 +152,10 @@ mod tests {
         assert_eq!(world.zone_start.peek(0), 0);
         assert_eq!(world.zone_start.peek(p), n as u32);
         for q in 0..p {
-            assert!(world.zone_start.peek(q) <= world.zone_start.peek(q + 1), "zone {q} not monotone");
+            assert!(
+                world.zone_start.peek(q) <= world.zone_start.peek(q + 1),
+                "zone {q} not monotone"
+            );
         }
         let mut seen = vec![false; n];
         for i in 0..n {
@@ -182,7 +193,9 @@ mod tests {
         let total: u64 = (0..n).map(|i| world.cost.peek(i) as u64).sum();
         for q in 0..p {
             let (s, e) = world.zone(q);
-            let zc: u64 = (s..e).map(|i| world.cost.peek(world.order.peek(i) as usize) as u64).sum();
+            let zc: u64 = (s..e)
+                .map(|i| world.cost.peek(world.order.peek(i) as usize) as u64)
+                .sum();
             let half = total / 2;
             assert!(
                 zc > half / 2 && zc < half * 2,

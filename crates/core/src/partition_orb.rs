@@ -22,14 +22,21 @@ use crate::world::World;
 /// positions and costs. Returns, for each body, the processor it belongs
 /// to. Pure function (used by tests and by [`orb_partition`]).
 pub fn orb_assign(positions: &[Vec3], costs: &[u32], procs: usize) -> Vec<u8> {
-    assert!(procs >= 1 && procs <= 256);
+    assert!((1..=256).contains(&procs));
     let mut owner = vec![0u8; positions.len()];
     let mut ids: Vec<u32> = (0..positions.len() as u32).collect();
     split(positions, costs, &mut ids, 0, procs, &mut owner);
     owner
 }
 
-fn split(positions: &[Vec3], costs: &[u32], ids: &mut [u32], first_proc: usize, nproc: usize, owner: &mut [u8]) {
+fn split(
+    positions: &[Vec3],
+    costs: &[u32],
+    ids: &mut [u32],
+    first_proc: usize,
+    nproc: usize,
+    owner: &mut [u8],
+) {
     if nproc == 1 || ids.is_empty() {
         for &b in ids.iter() {
             owner[b as usize] = first_proc as u8;
@@ -73,7 +80,14 @@ fn split(positions: &[Vec3], costs: &[u32], ids: &mut [u32], first_proc: usize, 
     cut = cut.min(ids.len());
     let (left, right) = ids.split_at_mut(cut);
     split(positions, costs, left, first_proc, left_procs, owner);
-    split(positions, costs, right, first_proc + left_procs, right_procs, owner);
+    split(
+        positions,
+        costs,
+        right,
+        first_proc + left_procs,
+        right_procs,
+        owner,
+    );
 }
 
 /// Replicated ORB partitioning phase: every processor reads all positions
@@ -137,7 +151,10 @@ mod tests {
             assert!(owner.iter().all(|&o| (o as usize) < procs));
             // Every processor gets at least one body when n >> P.
             for q in 0..procs {
-                assert!(owner.iter().any(|&o| o as usize == q), "processor {q} got nothing");
+                assert!(
+                    owner.iter().any(|&o| o as usize == q),
+                    "processor {q} got nothing"
+                );
             }
         }
     }
@@ -191,11 +208,17 @@ mod tests {
         let mut volsum = 0.0;
         for q in 0..procs {
             let bb = Aabb::from_points(
-                pos.iter().zip(&owner).filter(|(_, &o)| o as usize == q).map(|(p, _)| *p),
+                pos.iter()
+                    .zip(&owner)
+                    .filter(|(_, &o)| o as usize == q)
+                    .map(|(p, _)| *p),
             );
             volsum += bb.extent().x * bb.extent().y * bb.extent().z;
         }
-        assert!(volsum < gvol * 1.5, "ORB boxes overlap too much: {volsum} vs {gvol}");
+        assert!(
+            volsum < gvol * 1.5,
+            "ORB boxes overlap too much: {volsum} vs {gvol}"
+        );
     }
 
     #[test]

@@ -46,7 +46,13 @@ pub fn seq_step(bodies: &mut [Body], k: usize, params: &ForceParams, dt: f64) ->
 }
 
 /// Run `steps` sequential time steps; returns the summed phase times.
-pub fn seq_run(bodies: &mut [Body], k: usize, params: &ForceParams, dt: f64, steps: usize) -> SeqTimes {
+pub fn seq_run(
+    bodies: &mut [Body],
+    k: usize,
+    params: &ForceParams,
+    dt: f64,
+    steps: usize,
+) -> SeqTimes {
     let mut acc = SeqTimes::default();
     for _ in 0..steps {
         let t = seq_step(bodies, k, params, dt);
@@ -68,16 +74,26 @@ mod tests {
         // The paper's premise: tree building takes < a few percent of a
         // sequential step (force calculation dominates).
         let mut bodies = Model::Plummer.generate(4000, 5);
-        let params = ForceParams { theta: 0.8, ..Default::default() };
+        let params = ForceParams {
+            theta: 0.8,
+            ..Default::default()
+        };
         let t = seq_run(&mut bodies, 8, &params, 0.01, 2);
         let frac = t.tree as f64 / t.total() as f64;
-        assert!(frac < 0.25, "sequential tree fraction {frac} unexpectedly high");
+        assert!(
+            frac < 0.25,
+            "sequential tree fraction {frac} unexpectedly high"
+        );
     }
 
     #[test]
     fn energy_is_approximately_conserved() {
         let mut bodies = Model::Plummer.generate(600, 12);
-        let params = ForceParams { theta: 0.5, eps: 0.05, gravity: 1.0 };
+        let params = ForceParams {
+            theta: 0.5,
+            eps: 0.05,
+            gravity: 1.0,
+        };
         let e0 = total_energy(&bodies, params.gravity, params.eps);
         seq_run(&mut bodies, 8, &params, 0.005, 10);
         let e1 = total_energy(&bodies, params.gravity, params.eps);

@@ -43,9 +43,17 @@ impl<T: Copy> SharedVec<T> {
     /// Allocate a shared array of `len` copies of `init`.
     pub fn new<E: Env>(env: &E, len: usize, init: T, place: Placement) -> Self {
         let stride = std::mem::size_of::<T>().max(1) as u64;
-        let base = env.alloc(stride * len as u64, stride.next_power_of_two().min(64), place);
+        let base = env.alloc(
+            stride * len as u64,
+            stride.next_power_of_two().min(64),
+            place,
+        );
         let slots = (0..len).map(|_| UnsafeCell::new(init)).collect();
-        SharedVec { slots, base, stride }
+        SharedVec {
+            slots,
+            base,
+            stride,
+        }
     }
 
     #[inline]
@@ -87,10 +95,30 @@ impl<T: Copy> SharedVec<T> {
         unsafe { *self.slots[i].get() = value };
     }
 
+    /// Timed *unordered* read of element `i`: an optimistic pre-check whose
+    /// result is re-validated under a lock (or found to be benignly stale)
+    /// before being acted on. Reported to the environment through
+    /// [`Env::read_unordered`], so checking environments know not to flag
+    /// it as a data race.
+    #[inline]
+    pub fn load_relaxed<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize) -> T {
+        env.read_unordered(ctx, self.addr(i), self.stride as u32);
+        // SAFETY: module-level contract. The value may be concurrently
+        // written (struct-granularity tearing included); callers only use
+        // fields whose staleness they re-validate.
+        unsafe { *self.slots[i].get() }
+    }
+
     /// Timed read-modify-write of element `i` (counts as one read and one
     /// write of the element).
     #[inline]
-    pub fn update<E: Env, R>(&self, env: &E, ctx: &mut E::Ctx, i: usize, f: impl FnOnce(&mut T) -> R) -> R {
+    pub fn update<E: Env, R>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        i: usize,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
         env.read(ctx, self.addr(i), self.stride as u32);
         env.write(ctx, self.addr(i), self.stride as u32);
         // SAFETY: module-level contract.
@@ -155,27 +183,34 @@ impl SharedAtomicVec {
     #[inline]
     pub fn fetch_add<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, v: u32) -> u32 {
         env.rmw(ctx, self.addr(i), 4);
-        self.slots[i].fetch_add(v, Ordering::AcqRel)
+        let r = self.slots[i].fetch_add(v, Ordering::AcqRel);
+        env.atomic_commit(ctx, self.addr(i), 4);
+        r
     }
 
     /// Timed atomic fetch-sub.
     #[inline]
     pub fn fetch_sub<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, v: u32) -> u32 {
         env.rmw(ctx, self.addr(i), 4);
-        self.slots[i].fetch_sub(v, Ordering::AcqRel)
+        let r = self.slots[i].fetch_sub(v, Ordering::AcqRel);
+        env.atomic_commit(ctx, self.addr(i), 4);
+        r
     }
 
-    /// Timed atomic load.
+    /// Timed atomic load (acquire). The accounting call follows the real
+    /// load: acquires are instrumented after the operation they describe
+    /// (see [`Env::atomic_commit`]).
     #[inline]
     pub fn load<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize) -> u32 {
-        env.read(ctx, self.addr(i), 4);
-        self.slots[i].load(Ordering::Acquire)
+        let r = self.slots[i].load(Ordering::Acquire);
+        env.read_atomic(ctx, self.addr(i), 4);
+        r
     }
 
-    /// Timed atomic store.
+    /// Timed atomic store (release).
     #[inline]
     pub fn store<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, v: u32) {
-        env.write(ctx, self.addr(i), 4);
+        env.write_atomic(ctx, self.addr(i), 4);
         self.slots[i].store(v, Ordering::Release)
     }
 
@@ -223,18 +258,21 @@ impl SharedAtomicVec64 {
     #[inline]
     pub fn fetch_add<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, v: u64) -> u64 {
         env.rmw(ctx, self.addr(i), 8);
-        self.slots[i].fetch_add(v, Ordering::AcqRel)
+        let r = self.slots[i].fetch_add(v, Ordering::AcqRel);
+        env.atomic_commit(ctx, self.addr(i), 8);
+        r
     }
 
     #[inline]
     pub fn load<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize) -> u64 {
-        env.read(ctx, self.addr(i), 8);
-        self.slots[i].load(Ordering::Acquire)
+        let r = self.slots[i].load(Ordering::Acquire);
+        env.read_atomic(ctx, self.addr(i), 8);
+        r
     }
 
     #[inline]
     pub fn store<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, v: u64) {
-        env.write(ctx, self.addr(i), 8);
+        env.write_atomic(ctx, self.addr(i), 8);
         self.slots[i].store(v, Ordering::Release)
     }
 
@@ -313,5 +351,95 @@ mod tests {
         v.store(&env, &mut ctx, 2, 1 << 40);
         assert_eq!(v.fetch_add(&env, &mut ctx, 2, 5), 1 << 40);
         assert_eq!(v.peek(2), (1 << 40) + 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_out_of_bounds_panics() {
+        let env = NativeEnv::new(1);
+        let mut ctx = env.make_ctx(0);
+        let v: SharedVec<u64> = SharedVec::new(&env, 4, 0, Placement::Global);
+        let _ = v.load(&env, &mut ctx, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn store_out_of_bounds_panics() {
+        let env = NativeEnv::new(1);
+        let mut ctx = env.make_ctx(0);
+        let v: SharedVec<u64> = SharedVec::new(&env, 4, 0, Placement::Global);
+        v.store(&env, &mut ctx, 100, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn poke_out_of_bounds_panics() {
+        let env = NativeEnv::new(1);
+        let v: SharedVec<u32> = SharedVec::new(&env, 1, 0, Placement::Global);
+        v.poke(1, 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn atomic_out_of_bounds_panics() {
+        let env = NativeEnv::new(1);
+        let mut ctx = env.make_ctx(0);
+        let v = SharedAtomicVec::new(&env, 2, 0, Placement::Global);
+        v.fetch_add(&env, &mut ctx, 2, 1);
+    }
+
+    #[test]
+    fn stride_and_alignment_invariants() {
+        let env = NativeEnv::new(1);
+        // The simulated base address is aligned to the element size rounded
+        // up to a power of two (capped at a cache line), so no element
+        // straddles an alignment boundary smaller than itself.
+        let a: SharedVec<u32> = SharedVec::new(&env, 5, 0, Placement::Global);
+        assert_eq!(a.stride(), 4);
+        assert_eq!(a.addr(0) % 4, 0);
+        let b: SharedVec<f64> = SharedVec::new(&env, 5, 0.0, Placement::Global);
+        assert_eq!(b.stride(), 8);
+        assert_eq!(b.addr(0) % 8, 0);
+        let c: SharedVec<[u8; 24]> = SharedVec::new(&env, 5, [0; 24], Placement::Global);
+        assert_eq!(c.stride(), 24);
+        assert_eq!(c.addr(0) % 32, 0); // 24 rounds up to 32
+        for v in [&a.addr(0), &b.addr(0)] {
+            assert_eq!(v % 4, 0, "every element address is 4-byte aligned");
+        }
+        // Addresses advance by exactly one stride with no padding between
+        // elements of the same vector.
+        for i in 0..4 {
+            assert_eq!(c.addr(i + 1) - c.addr(i), 24);
+        }
+        // Atomic vectors are word/double-word aligned.
+        let d = SharedAtomicVec::new(&env, 3, 0, Placement::Global);
+        assert_eq!(d.addr(0) % 4, 0);
+        let e = SharedAtomicVec64::new(&env, 3, 0, Placement::Global);
+        assert_eq!(e.addr(0) % 8, 0);
+    }
+
+    #[test]
+    fn barrier_transfers_element_ownership_between_threads() {
+        // Two native threads ping-pong ownership of the same elements
+        // across barriers: each round, the writer of the previous round
+        // becomes the reader. Values observed after each barrier must be
+        // exactly the other thread's writes (the race detector certifies
+        // the ordering; this smoke test certifies the data).
+        let env = NativeEnv::new(2);
+        let v: SharedVec<u64> = SharedVec::new(&env, 8, 0, Placement::Global);
+        crate::harness::spmd(&env, |proc, ctx| {
+            for round in 0u64..4 {
+                let writer = (round as usize) % 2;
+                if proc == writer {
+                    for i in 0..8 {
+                        v.store(&env, ctx, i, round * 100 + i as u64);
+                    }
+                }
+                env.barrier(ctx);
+                let got = v.load(&env, ctx, 5);
+                assert_eq!(got, round * 100 + 5, "round {round} proc {proc}");
+                env.barrier(ctx);
+            }
+        });
     }
 }

@@ -1,0 +1,144 @@
+//! Workspace-local synchronization primitives.
+//!
+//! The offline build environment has no access to crates.io, so the crates
+//! in this workspace use these thin wrappers over `std::sync` instead of
+//! `parking_lot`:
+//!
+//! * [`Mutex`] — a poison-ignoring `std::sync::Mutex` with `parking_lot`'s
+//!   ergonomics (`lock()` returns the guard directly, `const fn new`).
+//! * [`RawLock`] — a lock whose `lock`/`unlock` calls need not be lexically
+//!   scoped, for lock tables indexed by runtime ids (the `Env` lock/unlock
+//!   contract). Built from `Mutex<bool>` + `Condvar`, so it is entirely safe
+//!   code and any thread may release it.
+
+use std::sync::Condvar;
+use std::sync::Mutex as StdMutex;
+use std::sync::MutexGuard;
+
+/// Poison-ignoring mutex. A panic while holding the lock aborts the
+/// experiment anyway (worker panics propagate through `spmd`), so poisoning
+/// adds nothing here.
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(StdMutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A manually paired lock: `lock()` and `unlock()` are separate calls with
+/// no guard object, matching the `Env::lock`/`Env::unlock` contract. The
+/// caller must pair them; a double unlock panics.
+pub struct RawLock {
+    held: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl RawLock {
+    pub const fn new() -> RawLock {
+        RawLock {
+            held: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Acquire without blocking; returns `false` if the lock is held.
+    pub fn try_lock(&self) -> bool {
+        let mut held = self.held.lock();
+        if *held {
+            false
+        } else {
+            *held = true;
+            true
+        }
+    }
+
+    /// Acquire, blocking until available.
+    pub fn lock(&self) {
+        let mut held = self.held.lock();
+        while *held {
+            held = match self.cv.wait(held) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        *held = true;
+    }
+
+    /// Release. Panics if the lock is not held (unpaired unlock).
+    pub fn unlock(&self) {
+        let mut held = self.held.lock();
+        assert!(*held, "RawLock::unlock without a matching lock");
+        *held = false;
+        drop(held);
+        self.cv.notify_one();
+    }
+}
+
+impl Default for RawLock {
+    fn default() -> Self {
+        RawLock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn mutex_ignores_poison() {
+        let m = std::sync::Arc::new(Mutex::new(1u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn raw_lock_excludes() {
+        let lock = RawLock::new();
+        let counter = AtomicU64::new(0);
+        let max_seen = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..5_000 {
+                        lock.lock();
+                        let inside = counter.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(inside, Ordering::SeqCst);
+                        counter.fetch_sub(1, Ordering::SeqCst);
+                        lock.unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn try_lock_respects_holder() {
+        let lock = RawLock::new();
+        assert!(lock.try_lock());
+        assert!(!lock.try_lock());
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching lock")]
+    fn unpaired_unlock_panics() {
+        RawLock::new().unlock();
+    }
+}

@@ -6,4 +6,6 @@ pub mod types;
 pub mod validate;
 
 pub use seq::{SeqNode, SeqTree};
-pub use types::{Arena, Cell, Leaf, NodeRef, SharedTree, TreeCapacity, TreeLayout, MAX_DEPTH, MAX_LEAF_BODIES};
+pub use types::{
+    Arena, Cell, Leaf, NodeRef, SharedTree, TreeCapacity, TreeLayout, MAX_DEPTH, MAX_LEAF_BODIES,
+};

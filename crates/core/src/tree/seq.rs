@@ -43,18 +43,34 @@ const NIL: i32 = -1;
 impl SeqTree {
     /// Build the octree over `bodies` with leaf threshold `k`.
     pub fn build(bodies: &[Body], k: usize) -> SeqTree {
-        assert!((1..=MAX_LEAF_BODIES).contains(&k), "leaf threshold k={k} out of range");
+        assert!(
+            (1..=MAX_LEAF_BODIES).contains(&k),
+            "leaf threshold k={k} out of range"
+        );
         let bbox = Aabb::from_points(bodies.iter().map(|b| b.pos));
-        let cube = if bbox.is_empty() { Cube::new(Vec3::ZERO, 1.0) } else { Cube::enclosing(&bbox) };
+        let cube = if bbox.is_empty() {
+            Cube::new(Vec3::ZERO, 1.0)
+        } else {
+            Cube::enclosing(&bbox)
+        };
         Self::build_in_cube(bodies, k, cube)
     }
 
     /// Build within a caller-chosen root cube (must contain all bodies).
     pub fn build_in_cube(bodies: &[Body], k: usize, cube: Cube) -> SeqTree {
-        let mut t = SeqTree { nodes: Vec::new(), root: NIL, cube, k };
+        let mut t = SeqTree {
+            nodes: Vec::new(),
+            root: NIL,
+            cube,
+            k,
+        };
         t.root = t.new_cell(cube);
         for (i, b) in bodies.iter().enumerate() {
-            debug_assert!(cube.contains(b.pos), "body {i} at {:?} outside root cube", b.pos);
+            debug_assert!(
+                cube.contains(b.pos),
+                "body {i} at {:?} outside root cube",
+                b.pos
+            );
             t.insert(t.root, i as u32, b.pos, bodies, 0);
         }
         t.summarize(t.root, bodies);
@@ -73,12 +89,20 @@ impl SeqTree {
     }
 
     fn new_leaf(&mut self, cube: Cube) -> i32 {
-        self.nodes.push(SeqNode::Leaf { bodies: Vec::new(), com: Vec3::ZERO, mass: 0.0, cube });
+        self.nodes.push(SeqNode::Leaf {
+            bodies: Vec::new(),
+            com: Vec3::ZERO,
+            mass: 0.0,
+            cube,
+        });
         (self.nodes.len() - 1) as i32
     }
 
     fn insert(&mut self, cell: i32, body: u32, pos: Vec3, bodies: &[Body], depth: usize) {
-        assert!(depth < MAX_DEPTH, "tree depth limit exceeded: >k coincident bodies?");
+        assert!(
+            depth < MAX_DEPTH,
+            "tree depth limit exceeded: >k coincident bodies?"
+        );
         let (oct, child_idx, cube) = match &self.nodes[cell as usize] {
             SeqNode::Cell { child, cube, .. } => {
                 let oct = cube.octant_of(pos);
@@ -136,7 +160,10 @@ impl SeqTree {
                 } else {
                     Vec3::ZERO
                 };
-                if let SeqNode::Leaf { com: c, mass: m, .. } = &mut self.nodes[node as usize] {
+                if let SeqNode::Leaf {
+                    com: c, mass: m, ..
+                } = &mut self.nodes[node as usize]
+                {
                     *c = com;
                     *m = mass;
                 }
@@ -152,8 +179,18 @@ impl SeqTree {
                     weighted += com * m;
                     count += n;
                 }
-                let com = if mass > 0.0 { weighted / mass } else { Vec3::ZERO };
-                if let SeqNode::Cell { com: c, mass: m, count: n, .. } = &mut self.nodes[node as usize] {
+                let com = if mass > 0.0 {
+                    weighted / mass
+                } else {
+                    Vec3::ZERO
+                };
+                if let SeqNode::Cell {
+                    com: c,
+                    mass: m,
+                    count: n,
+                    ..
+                } = &mut self.nodes[node as usize]
+                {
                     *c = com;
                     *m = mass;
                     *n = count;

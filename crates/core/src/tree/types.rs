@@ -306,7 +306,10 @@ pub struct SharedTree {
 impl SharedTree {
     /// Allocate tree storage for up to `n` bodies on `p` processors.
     pub fn new<E: Env>(env: &E, n: usize, k: usize, layout: TreeLayout) -> SharedTree {
-        assert!((1..=MAX_LEAF_BODIES).contains(&k), "leaf threshold k={k} out of range");
+        assert!(
+            (1..=MAX_LEAF_BODIES).contains(&k),
+            "leaf threshold k={k} out of range"
+        );
         let p = env.num_procs();
         let cap = TreeCapacity::plan(n, k, p, layout);
         let n_arenas = match layout {
@@ -343,14 +346,18 @@ impl SharedTree {
                 let lists = (0..p)
                     .map(|_| SharedVec::new(env, cap.leaf_list_per_proc, 0u32, Placement::Global))
                     .collect();
-                let lens = (0..p).map(|_| SharedAtomicVec::new(env, 1, 0, Placement::Global)).collect();
+                let lens = (0..p)
+                    .map(|_| SharedAtomicVec::new(env, 1, 0, Placement::Global))
+                    .collect();
                 (lists, lens)
             }
             TreeLayout::PerProcessor => {
                 let lists = (0..p)
                     .map(|q| SharedVec::new(env, cap.leaf_list_per_proc, 0u32, Placement::Local(q)))
                     .collect();
-                let lens = (0..p).map(|q| SharedAtomicVec::new(env, 1, 0, Placement::Local(q))).collect();
+                let lens = (0..p)
+                    .map(|q| SharedAtomicVec::new(env, 1, 0, Placement::Local(q)))
+                    .collect();
                 (lists, lens)
             }
         };
@@ -389,7 +396,13 @@ impl SharedTree {
     }
 
     #[inline]
-    pub fn update_cell<E: Env, R>(&self, env: &E, ctx: &mut E::Ctx, r: NodeRef, f: impl FnOnce(&mut Cell) -> R) -> R {
+    pub fn update_cell<E: Env, R>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        r: NodeRef,
+        f: impl FnOnce(&mut Cell) -> R,
+    ) -> R {
         debug_assert!(r.is_cell());
         self.arenas[r.arena()].cells.update(env, ctx, r.index(), f)
     }
@@ -400,6 +413,27 @@ impl SharedTree {
         self.arenas[r.arena()].leaves.load(env, ctx, r.index())
     }
 
+    /// Optimistic unordered read of a cell record (see
+    /// [`crate::shared::SharedVec::load_relaxed`]): used by lock-free
+    /// walk-ups that re-validate before acting on the result.
+    #[inline]
+    pub fn load_cell_relaxed<E: Env>(&self, env: &E, ctx: &mut E::Ctx, r: NodeRef) -> Cell {
+        debug_assert!(r.is_cell());
+        self.arenas[r.arena()]
+            .cells
+            .load_relaxed(env, ctx, r.index())
+    }
+
+    /// Optimistic unordered read of a leaf record; see
+    /// [`SharedTree::load_cell_relaxed`].
+    #[inline]
+    pub fn load_leaf_relaxed<E: Env>(&self, env: &E, ctx: &mut E::Ctx, r: NodeRef) -> Leaf {
+        debug_assert!(r.is_leaf());
+        self.arenas[r.arena()]
+            .leaves
+            .load_relaxed(env, ctx, r.index())
+    }
+
     #[inline]
     pub fn store_leaf<E: Env>(&self, env: &E, ctx: &mut E::Ctx, r: NodeRef, l: Leaf) {
         debug_assert!(r.is_leaf());
@@ -407,7 +441,13 @@ impl SharedTree {
     }
 
     #[inline]
-    pub fn update_leaf<E: Env, R>(&self, env: &E, ctx: &mut E::Ctx, r: NodeRef, f: impl FnOnce(&mut Leaf) -> R) -> R {
+    pub fn update_leaf<E: Env, R>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        r: NodeRef,
+        f: impl FnOnce(&mut Leaf) -> R,
+    ) -> R {
         debug_assert!(r.is_leaf());
         self.arenas[r.arena()].leaves.update(env, ctx, r.index(), f)
     }
@@ -432,21 +472,38 @@ impl SharedTree {
     #[inline]
     pub fn child<E: Env>(&self, env: &E, ctx: &mut E::Ctx, cell: NodeRef, oct: usize) -> NodeRef {
         debug_assert!(cell.is_cell() && oct < 8);
-        NodeRef(self.arenas[cell.arena()].children.load(env, ctx, cell.index() * 8 + oct))
+        NodeRef(
+            self.arenas[cell.arena()]
+                .children
+                .load(env, ctx, cell.index() * 8 + oct),
+        )
     }
 
     /// Timed atomic write of a cell's child slot.
     #[inline]
-    pub fn set_child<E: Env>(&self, env: &E, ctx: &mut E::Ctx, cell: NodeRef, oct: usize, v: NodeRef) {
+    pub fn set_child<E: Env>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        cell: NodeRef,
+        oct: usize,
+        v: NodeRef,
+    ) {
         debug_assert!(cell.is_cell() && oct < 8);
-        self.arenas[cell.arena()].children.store(env, ctx, cell.index() * 8 + oct, v.0)
+        self.arenas[cell.arena()]
+            .children
+            .store(env, ctx, cell.index() * 8 + oct, v.0)
     }
 
     /// Untimed child read for setup/validation.
     #[inline]
     pub fn peek_child(&self, cell: NodeRef, oct: usize) -> NodeRef {
         debug_assert!(cell.is_cell() && oct < 8);
-        NodeRef(self.arenas[cell.arena()].children.peek(cell.index() * 8 + oct))
+        NodeRef(
+            self.arenas[cell.arena()]
+                .children
+                .peek(cell.index() * 8 + oct),
+        )
     }
 
     /// Untimed snapshot of all eight child slots.
@@ -456,34 +513,57 @@ impl SharedTree {
 
     /// Timed read of all eight child slots as one 32-byte access — the
     /// traversal phases (force, costzones, CoM) read a cell's whole child
-    /// vector at once, as the original codes do.
+    /// vector at once, as the original codes do. The slots are individually
+    /// atomic, so the access is reported as an atomic (acquire) read.
     #[inline]
     pub fn children<E: Env>(&self, env: &E, ctx: &mut E::Ctx, cell: NodeRef) -> [NodeRef; 8] {
         debug_assert!(cell.is_cell());
         let a = &self.arenas[cell.arena()].children;
         let base = cell.index() * 8;
-        env.read(ctx, a.addr(base), 32);
-        std::array::from_fn(|oct| NodeRef(a.peek(base + oct)))
+        // Real acquiring loads first, accounting call second: acquires are
+        // instrumented after the operation they describe (see
+        // [`crate::env::Env::atomic_commit`]).
+        let kids = std::array::from_fn(|oct| NodeRef(a.peek(base + oct)));
+        env.read_atomic(ctx, a.addr(base), 32);
+        kids
     }
 
     /// Timed atomic read of a leaf's parent ref (mirror of `Leaf::parent`).
     #[inline]
     pub fn leaf_parent<E: Env>(&self, env: &E, ctx: &mut E::Ctx, leaf: NodeRef) -> NodeRef {
         debug_assert!(leaf.is_leaf());
-        NodeRef(self.arenas[leaf.arena()].leaf_parent.load(env, ctx, leaf.index()))
+        NodeRef(
+            self.arenas[leaf.arena()]
+                .leaf_parent
+                .load(env, ctx, leaf.index()),
+        )
     }
 
     /// Timed atomic write of a leaf's parent ref. Callers must keep
     /// `Leaf::parent` in sync (both are written by `new_leaf`/reparenting).
     #[inline]
-    pub fn set_leaf_parent<E: Env>(&self, env: &E, ctx: &mut E::Ctx, leaf: NodeRef, parent: NodeRef) {
+    pub fn set_leaf_parent<E: Env>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        leaf: NodeRef,
+        parent: NodeRef,
+    ) {
         debug_assert!(leaf.is_leaf());
-        self.arenas[leaf.arena()].leaf_parent.store(env, ctx, leaf.index(), parent.0)
+        self.arenas[leaf.arena()]
+            .leaf_parent
+            .store(env, ctx, leaf.index(), parent.0)
     }
 
     /// Timed atomic write of a leaf's bounds mirror (center, half). Callers
     /// must keep `Leaf::{center, half}` in sync.
-    pub fn set_leaf_bounds<E: Env>(&self, env: &E, ctx: &mut E::Ctx, leaf: NodeRef, cube: crate::math::Cube) {
+    pub fn set_leaf_bounds<E: Env>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        leaf: NodeRef,
+        cube: crate::math::Cube,
+    ) {
         debug_assert!(leaf.is_leaf());
         let b = &self.arenas[leaf.arena()].leaf_bounds;
         let i = leaf.index() * 4;
@@ -494,7 +574,12 @@ impl SharedTree {
     }
 
     /// Timed atomic read of a leaf's bounds mirror.
-    pub fn leaf_bounds<E: Env>(&self, env: &E, ctx: &mut E::Ctx, leaf: NodeRef) -> crate::math::Cube {
+    pub fn leaf_bounds<E: Env>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        leaf: NodeRef,
+    ) -> crate::math::Cube {
         debug_assert!(leaf.is_leaf());
         let b = &self.arenas[leaf.arena()].leaf_bounds;
         let i = leaf.index() * 4;
@@ -513,19 +598,25 @@ impl SharedTree {
     #[inline]
     pub fn pending_store<E: Env>(&self, env: &E, ctx: &mut E::Ctx, r: NodeRef, v: u32) {
         debug_assert!(r.is_cell());
-        self.arenas[r.arena()].cell_pending.store(env, ctx, r.index(), v)
+        self.arenas[r.arena()]
+            .cell_pending
+            .store(env, ctx, r.index(), v)
     }
 
     #[inline]
     pub fn pending_add<E: Env>(&self, env: &E, ctx: &mut E::Ctx, r: NodeRef, v: u32) -> u32 {
         debug_assert!(r.is_cell());
-        self.arenas[r.arena()].cell_pending.fetch_add(env, ctx, r.index(), v)
+        self.arenas[r.arena()]
+            .cell_pending
+            .fetch_add(env, ctx, r.index(), v)
     }
 
     #[inline]
     pub fn pending_sub<E: Env>(&self, env: &E, ctx: &mut E::Ctx, r: NodeRef, v: u32) -> u32 {
         debug_assert!(r.is_cell());
-        self.arenas[r.arena()].cell_pending.fetch_sub(env, ctx, r.index(), v)
+        self.arenas[r.arena()]
+            .cell_pending
+            .fetch_sub(env, ctx, r.index(), v)
     }
 
     #[inline]
@@ -536,7 +627,13 @@ impl SharedTree {
     // ----- allocation -------------------------------------------------------
 
     /// Allocate a fresh cell from `arena`, owned by `owner`.
-    pub fn alloc_cell<E: Env>(&self, env: &E, ctx: &mut E::Ctx, arena: usize, owner: usize) -> NodeRef {
+    pub fn alloc_cell<E: Env>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        arena: usize,
+        owner: usize,
+    ) -> NodeRef {
         let a = &self.arenas[arena];
         let idx = a.next_cell.fetch_add(env, ctx, 0, 1) as usize;
         assert!(
@@ -560,7 +657,13 @@ impl SharedTree {
     /// Allocate a fresh leaf from `arena`, owned by `owner`, recording it in
     /// `owner`'s created-leaf list (unless it is already listed there from a
     /// previous step — UPDATE reuse).
-    pub fn alloc_leaf<E: Env>(&self, env: &E, ctx: &mut E::Ctx, arena: usize, owner: usize) -> NodeRef {
+    pub fn alloc_leaf<E: Env>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        arena: usize,
+        owner: usize,
+    ) -> NodeRef {
         let a = &self.arenas[arena];
         // Try the free list first (only ever populated by UPDATE).
         let reused = if a.free_tops.peek(1) > 0 {
@@ -643,7 +746,8 @@ impl SharedTree {
         self.set_leaf_parent(env, ctx, r, NodeRef::NULL);
         env.lock(ctx, a.freelist_lock());
         let top = a.free_tops.load(env, ctx, 1);
-        a.free_leaves.store(env, ctx, top as usize, r.index() as u32);
+        a.free_leaves
+            .store(env, ctx, top as usize, r.index() as u32);
         a.free_tops.store(env, ctx, 1, top + 1);
         env.unlock(ctx, a.freelist_lock());
     }
@@ -687,12 +791,18 @@ impl SharedTree {
 
     /// Number of live cells allocated across all arenas (untimed).
     pub fn cells_allocated(&self) -> usize {
-        self.arenas.iter().map(|a| a.next_cell.peek(0) as usize).sum()
+        self.arenas
+            .iter()
+            .map(|a| a.next_cell.peek(0) as usize)
+            .sum()
     }
 
     /// Number of live leaves allocated across all arenas (untimed).
     pub fn leaves_allocated(&self) -> usize {
-        self.arenas.iter().map(|a| a.next_leaf.peek(0) as usize).sum()
+        self.arenas
+            .iter()
+            .map(|a| a.next_leaf.peek(0) as usize)
+            .sum()
     }
 }
 
@@ -812,7 +922,9 @@ mod tests {
                     let tree = &tree;
                     s.spawn(move || {
                         let mut ctx = env.make_ctx(p);
-                        (0..200).map(|_| tree.alloc_cell(env, &mut ctx, 0, p)).collect::<Vec<_>>()
+                        (0..200)
+                            .map(|_| tree.alloc_cell(env, &mut ctx, 0, p))
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();

@@ -37,7 +37,15 @@ pub fn validate(
     masses: &[f64],
     check_summaries: bool,
 ) -> Result<TreeSummary, String> {
-    validate_with(tree, positions, masses, ValidateOpts { check_summaries, allow_empty_cells: false })
+    validate_with(
+        tree,
+        positions,
+        masses,
+        ValidateOpts {
+            check_summaries,
+            allow_empty_cells: false,
+        },
+    )
 }
 
 /// [`validate`] with explicit options.
@@ -55,10 +63,29 @@ pub fn validate_with(
         return Err("root is not a cell".into());
     }
     let mut seen = vec![false; positions.len()];
-    let mut summary = TreeSummary { cells: 0, leaves: 0, bodies: 0, depth: 0, mass: 0.0 };
-    let (mass, _com, count) = walk(tree, root, NodeRef::NULL, 0, positions, masses, opts, &mut seen, &mut summary)?;
+    let mut summary = TreeSummary {
+        cells: 0,
+        leaves: 0,
+        bodies: 0,
+        depth: 0,
+        mass: 0.0,
+    };
+    let (mass, _com, count) = walk(
+        tree,
+        root,
+        NodeRef::NULL,
+        0,
+        positions,
+        masses,
+        opts,
+        &mut seen,
+        &mut summary,
+    )?;
     if count as usize != positions.len() {
-        return Err(format!("tree holds {count} bodies, expected {}", positions.len()));
+        return Err(format!(
+            "tree holds {count} bodies, expected {}",
+            positions.len()
+        ));
     }
     if let Some(missing) = seen.iter().position(|&s| !s) {
         return Err(format!("body {missing} missing from tree"));
@@ -88,7 +115,10 @@ fn walk(
             return Err(format!("leaf {node:?} reachable but not in use"));
         }
         if l.parent != parent {
-            return Err(format!("leaf {node:?} parent pointer wrong: {:?} != {parent:?}", l.parent));
+            return Err(format!(
+                "leaf {node:?} parent pointer wrong: {:?} != {parent:?}",
+                l.parent
+            ));
         }
         if l.n as usize > tree.k {
             return Err(format!("leaf {node:?} holds {} bodies > k={}", l.n, tree.k));
@@ -108,7 +138,11 @@ fn walk(
             }
             seen[b] = true;
             if !l.cube().contains(positions[b]) {
-                return Err(format!("body {b} at {:?} outside leaf cube {:?}", positions[b], l.cube()));
+                return Err(format!(
+                    "body {b} at {:?} outside leaf cube {:?}",
+                    positions[b],
+                    l.cube()
+                ));
             }
             mass += masses[b];
             weighted += positions[b] * masses[b];
@@ -123,7 +157,15 @@ fn walk(
                 return Err(format!("leaf {node:?} com {:?} != {:?}", l.com, com));
             }
         }
-        return Ok((mass, if mass > 0.0 { weighted / mass } else { Vec3::ZERO }, l.n));
+        return Ok((
+            mass,
+            if mass > 0.0 {
+                weighted / mass
+            } else {
+                Vec3::ZERO
+            },
+            l.n,
+        ));
     }
     if !node.is_cell() {
         return Err(format!("dangling reference {node:?}"));
@@ -135,7 +177,10 @@ fn walk(
         return Err(format!("cell {node:?} reachable but not in use"));
     }
     if c.parent != parent {
-        return Err(format!("cell {node:?} parent pointer wrong: {:?} != {parent:?}", c.parent));
+        return Err(format!(
+            "cell {node:?} parent pointer wrong: {:?} != {parent:?}",
+            c.parent
+        ));
     }
     let nchild = children.iter().filter(|ch| !ch.is_null()).count();
     if nchild == 0 && !opts.allow_empty_cells {
@@ -143,7 +188,10 @@ fn walk(
     }
     let pending = tree.pending_peek(node);
     if pending != nchild as u32 {
-        return Err(format!("cell {node:?} pending={} != non-null children {}", pending, nchild));
+        return Err(format!(
+            "cell {node:?} pending={} != non-null children {}",
+            pending, nchild
+        ));
     }
     let mut mass = 0.0;
     let mut weighted = Vec3::ZERO;
@@ -162,7 +210,10 @@ fn walk(
             (ll.center, ll.half, ll.octant_in_parent)
         };
         if ch_oct as usize != oct {
-            return Err(format!("child {ch:?} octant_in_parent={} stored in slot {oct}", ch_oct));
+            return Err(format!(
+                "child {ch:?} octant_in_parent={} stored in slot {oct}",
+                ch_oct
+            ));
         }
         let tol = 1e-9 * (1.0 + expect.half);
         if (ch_center - expect.center).norm() > tol || (ch_half - expect.half).abs() > tol {
@@ -171,7 +222,17 @@ fn walk(
                 expect.center, expect.half
             ));
         }
-        let (m, com, n) = walk(tree, ch, node, depth + 1, positions, masses, opts, seen, summary)?;
+        let (m, com, n) = walk(
+            tree,
+            ch,
+            node,
+            depth + 1,
+            positions,
+            masses,
+            opts,
+            seen,
+            summary,
+        )?;
         mass += m;
         weighted += com * m;
         count += n;
@@ -183,12 +244,24 @@ fn walk(
         if c.count != count {
             return Err(format!("cell {node:?} count {} != {}", c.count, count));
         }
-        let com = if mass > 0.0 { weighted / mass } else { Vec3::ZERO };
+        let com = if mass > 0.0 {
+            weighted / mass
+        } else {
+            Vec3::ZERO
+        };
         if (c.com - com).norm() > 1e-9 * (1.0 + com.norm()) {
             return Err(format!("cell {node:?} com {:?} != {:?}", c.com, com));
         }
     }
-    Ok((mass, if mass > 0.0 { weighted / mass } else { Vec3::ZERO }, count))
+    Ok((
+        mass,
+        if mass > 0.0 {
+            weighted / mass
+        } else {
+            Vec3::ZERO
+        },
+        count,
+    ))
 }
 
 /// Canonical structural signature of the shared tree (same format as
@@ -205,7 +278,12 @@ pub fn signature(tree: &SharedTree) -> Vec<(Vec<u8>, Vec<u32>)> {
     out
 }
 
-fn walk_signature(tree: &SharedTree, node: NodeRef, path: &mut Vec<u8>, out: &mut Vec<(Vec<u8>, Vec<u32>)>) {
+fn walk_signature(
+    tree: &SharedTree,
+    node: NodeRef,
+    path: &mut Vec<u8>,
+    out: &mut Vec<(Vec<u8>, Vec<u32>)>,
+) {
     if node.is_leaf() {
         let l = tree.peek_leaf(node);
         let mut ids: Vec<u32> = l.body_slice().to_vec();
@@ -228,7 +306,11 @@ pub fn matches_reference(tree: &SharedTree, reference: &SeqTree) -> Result<(), S
     let a = signature(tree);
     let b = reference.signature();
     if a.len() != b.len() {
-        return Err(format!("leaf count differs: {} vs reference {}", a.len(), b.len()));
+        return Err(format!(
+            "leaf count differs: {} vs reference {}",
+            a.len(),
+            b.len()
+        ));
     }
     for (x, y) in a.iter().zip(b.iter()) {
         if x != y {

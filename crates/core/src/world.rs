@@ -35,7 +35,13 @@ impl Subspace {
     }
 
     fn zero() -> Subspace {
-        Subspace { parent: NodeRef::NULL, oct: 0, count: 0, center: Vec3::ZERO, half: 0.0 }
+        Subspace {
+            parent: NodeRef::NULL,
+            oct: 0,
+            count: 0,
+            center: Vec3::ZERO,
+            half: 0.0,
+        }
     }
 }
 
@@ -121,8 +127,12 @@ impl World {
             sp_route: SharedVec::new(env, FRONTIER_CAP * 8, 0, g),
             sp_subspaces: SharedVec::new(env, SUBSPACE_CAP, Subspace::zero(), g),
             sp_nsub: SharedAtomicVec::new(env, 1, 0, g),
-            sp_body_slot: (0..p).map(|q| SharedVec::new(env, n, 0, Placement::Local(q))).collect(),
-            sp_bucket: (0..p).map(|q| SharedVec::new(env, n, 0u32, Placement::Local(q))).collect(),
+            sp_body_slot: (0..p)
+                .map(|q| SharedVec::new(env, n, 0, Placement::Local(q)))
+                .collect(),
+            sp_bucket: (0..p)
+                .map(|q| SharedVec::new(env, n, 0u32, Placement::Local(q)))
+                .collect(),
             sp_bucket_off: (0..p)
                 .map(|q| SharedVec::new(env, SUBSPACE_CAP + 1, 0u32, Placement::Local(q)))
                 .collect(),
@@ -145,7 +155,10 @@ impl World {
     /// contents are read with timed loads by the algorithms).
     #[inline]
     pub fn zone(&self, proc: usize) -> (usize, usize) {
-        (self.zone_start.peek(proc) as usize, self.zone_start.peek(proc + 1) as usize)
+        (
+            self.zone_start.peek(proc) as usize,
+            self.zone_start.peek(proc + 1) as usize,
+        )
     }
 
     /// Snapshot the current body state (untimed; for validation/examples).

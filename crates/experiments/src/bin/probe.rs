@@ -7,7 +7,22 @@
 //! ```
 
 use bh_core::prelude::*;
-use ssmp::{platform, Machine};
+use ssmp::{platform, CostModel, Machine};
+
+/// Apply one `PROBE_<FIELD>` calibration override to the cost model.
+fn set_override(cost: &mut CostModel, key: &str, v: u64) {
+    match key {
+        "PROBE_NOTICE" => cost.t_notice = v,
+        "PROBE_OCCUPANCY" => cost.t_fault_occupancy = v,
+        "PROBE_FAULT" => cost.t_page_fault = v,
+        "PROBE_CHECK" => cost.t_check = v,
+        "PROBE_TWIN" => cost.t_twin = v,
+        "PROBE_DIFF" => cost.t_diff = v,
+        "PROBE_LOCK_TRANSFER" => cost.t_lock_transfer = v,
+        "PROBE_LOCK" => cost.t_lock = v,
+        other => unreachable!("unknown probe override {other}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,18 +42,18 @@ fn main() {
     } else {
         let mut cost = platform::by_name(&args[0], procs).expect("unknown platform");
         // Calibration overrides: PROBE_<FIELD>=value.
-        for (key, field) in [
-            ("PROBE_NOTICE", &mut cost.t_notice as *mut u64),
-            ("PROBE_OCCUPANCY", &mut cost.t_fault_occupancy as *mut u64),
-            ("PROBE_FAULT", &mut cost.t_page_fault as *mut u64),
-            ("PROBE_CHECK", &mut cost.t_check as *mut u64),
-            ("PROBE_TWIN", &mut cost.t_twin as *mut u64),
-            ("PROBE_DIFF", &mut cost.t_diff as *mut u64),
-            ("PROBE_LOCK_TRANSFER", &mut cost.t_lock_transfer as *mut u64),
-            ("PROBE_LOCK", &mut cost.t_lock as *mut u64),
+        for key in [
+            "PROBE_NOTICE",
+            "PROBE_OCCUPANCY",
+            "PROBE_FAULT",
+            "PROBE_CHECK",
+            "PROBE_TWIN",
+            "PROBE_DIFF",
+            "PROBE_LOCK_TRANSFER",
+            "PROBE_LOCK",
         ] {
             if let Ok(v) = std::env::var(key) {
-                unsafe { *field = v.parse().expect(key) };
+                set_override(&mut cost, key, v.parse().expect(key));
             }
         }
         let machine = Machine::new(cost, procs);

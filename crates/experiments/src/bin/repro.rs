@@ -37,7 +37,10 @@ fn main() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = args.get(i).and_then(|s| ExperimentScale::parse(s)).unwrap_or_else(|| usage());
+                scale = args
+                    .get(i)
+                    .and_then(|s| ExperimentScale::parse(s))
+                    .unwrap_or_else(|| usage());
             }
             "--json" => {
                 i += 1;
@@ -62,12 +65,19 @@ fn main() {
     for t in &tables {
         println!("{t}");
     }
-    eprintln!("[{} experiment(s) in {:.1}s]", tables.len(), t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[{} experiment(s) in {:.1}s]",
+        tables.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     if let Some(path) = json_path {
-        let json = serde_json::Value::Array(tables.iter().map(|t| t.to_json()).collect());
+        let objects: Vec<String> = tables
+            .iter()
+            .map(|t| format!("  {}", t.to_json()))
+            .collect();
         let mut f = std::fs::File::create(&path).expect("create json output");
-        writeln!(f, "{}", serde_json::to_string_pretty(&json).unwrap()).expect("write json");
+        writeln!(f, "[\n{}\n]", objects.join(",\n")).expect("write json");
         eprintln!("[wrote {path}]");
     }
 }

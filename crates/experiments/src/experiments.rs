@@ -7,7 +7,7 @@
 use crate::runner::{run_on_platform, seq_time_on_platform, ExperimentScale, PlatformRun};
 use crate::tables::{fmt_pct, fmt_speedup, Table};
 use bh_core::prelude::*;
-use parking_lot::Mutex;
+use bh_core::sync::Mutex;
 use ssmp::{platform, CostModel};
 use std::collections::HashMap;
 
@@ -20,12 +20,20 @@ fn run_cached(cost: &CostModel, alg: Algorithm, n: usize, procs: usize) -> Platf
         return hit.clone();
     }
     let run = run_on_platform(cost, alg, n, procs);
-    RUN_CACHE.lock().get_or_insert_with(HashMap::new).insert(key, run.clone());
+    RUN_CACHE
+        .lock()
+        .get_or_insert_with(HashMap::new)
+        .insert(key, run.clone());
     run
 }
 
-const ALGS: [Algorithm; 5] =
-    [Algorithm::Orig, Algorithm::Local, Algorithm::Update, Algorithm::Partree, Algorithm::Space];
+const ALGS: [Algorithm; 5] = [
+    Algorithm::Orig,
+    Algorithm::Local,
+    Algorithm::Update,
+    Algorithm::Partree,
+    Algorithm::Space,
+];
 
 fn alg_headers(first: &str) -> Vec<String> {
     let mut h = vec![first.to_string()];
@@ -33,7 +41,14 @@ fn alg_headers(first: &str) -> Vec<String> {
     h
 }
 
-fn speedup_table(id: &str, title: &str, cost: &CostModel, sizes: &[usize], procs: usize, expectation: &str) -> Table {
+fn speedup_table(
+    id: &str,
+    title: &str,
+    cost: &CostModel,
+    sizes: &[usize],
+    procs: usize,
+    expectation: &str,
+) -> Table {
     let mut t = Table::new(id, title, &[], expectation);
     t.headers = alg_headers("particles");
     for &n in sizes {
@@ -46,7 +61,14 @@ fn speedup_table(id: &str, title: &str, cost: &CostModel, sizes: &[usize], procs
     t
 }
 
-fn tree_pct_table(id: &str, title: &str, cost: &CostModel, n: usize, procs: &[usize], expectation: &str) -> Table {
+fn tree_pct_table(
+    id: &str,
+    title: &str,
+    cost: &CostModel,
+    n: usize,
+    procs: &[usize],
+    expectation: &str,
+) -> Table {
     let mut t = Table::new(id, title, &[], expectation);
     t.headers = alg_headers("procs");
     for &p in procs {
@@ -64,7 +86,10 @@ fn tree_pct_table(id: &str, title: &str, cost: &CostModel, n: usize, procs: &[us
 // --------------------------------------------------------------------------
 
 pub fn table1(scale: ExperimentScale) -> Table {
-    let sizes: Vec<usize> = [8192, 16384, 32768, 65536, 131072, 524288].iter().map(|&n| scale.size(n)).collect();
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536, 131072, 524288]
+        .iter()
+        .map(|&n| scale.size(n))
+        .collect();
     let platforms = [
         platform::origin2000(1),
         platform::challenge(1),
@@ -95,7 +120,10 @@ pub fn table1(scale: ExperimentScale) -> Table {
 // --------------------------------------------------------------------------
 
 pub fn fig6(scale: ExperimentScale) -> Table {
-    let sizes: Vec<usize> = [8192, 16384, 32768, 65536, 131072].iter().map(|&n| scale.size(n)).collect();
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536, 131072]
+        .iter()
+        .map(|&n| scale.size(n))
+        .collect();
     let procs = scale.procs(16);
     speedup_table(
         "Figure 6",
@@ -125,8 +153,10 @@ pub fn fig7(scale: ExperimentScale) -> Table {
 // --------------------------------------------------------------------------
 
 pub fn fig8(scale: ExperimentScale) -> Table {
-    let sizes: Vec<usize> =
-        [8192, 16384, 32768, 65536, 131072, 524288].iter().map(|&n| scale.size(n)).collect();
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536, 131072, 524288]
+        .iter()
+        .map(|&n| scale.size(n))
+        .collect();
     let procs = scale.procs(30);
     speedup_table(
         "Figure 8",
@@ -139,8 +169,10 @@ pub fn fig8(scale: ExperimentScale) -> Table {
 }
 
 pub fn fig9(scale: ExperimentScale) -> Table {
-    let sizes: Vec<usize> =
-        [8192, 16384, 32768, 65536, 131072, 524288].iter().map(|&n| scale.size(n)).collect();
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536, 131072, 524288]
+        .iter()
+        .map(|&n| scale.size(n))
+        .collect();
     let procs = scale.procs(30);
     let cost = platform::origin2000(procs);
     let mut t = Table::new(
@@ -225,7 +257,10 @@ pub fn table2(scale: ExperimentScale) -> Table {
 // --------------------------------------------------------------------------
 
 pub fn fig12(scale: ExperimentScale) -> Table {
-    let sizes: Vec<usize> = [8192, 16384, 32768, 65536].iter().map(|&n| scale.size(n)).collect();
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536]
+        .iter()
+        .map(|&n| scale.size(n))
+        .collect();
     let procs = scale.procs(16);
     let cost = platform::paragon_hlrc(procs);
     let mut t = Table::new(
@@ -260,7 +295,10 @@ pub fn fig12(scale: ExperimentScale) -> Table {
 // --------------------------------------------------------------------------
 
 pub fn fig13(scale: ExperimentScale) -> Table {
-    let sizes: Vec<usize> = [8192, 16384, 32768, 65536].iter().map(|&n| scale.size(n)).collect();
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536]
+        .iter()
+        .map(|&n| scale.size(n))
+        .collect();
     let procs = scale.procs(16);
     let cost = platform::typhoon0_hlrc(procs);
     let mut t = speedup_table(
@@ -282,7 +320,10 @@ pub fn fig13(scale: ExperimentScale) -> Table {
 }
 
 pub fn fig14(scale: ExperimentScale) -> Table {
-    let sizes: Vec<usize> = [8192, 16384, 32768, 65536].iter().map(|&n| scale.size(n)).collect();
+    let sizes: Vec<usize> = [8192, 16384, 32768, 65536]
+        .iter()
+        .map(|&n| scale.size(n))
+        .collect();
     let procs = scale.procs(16);
     let cost = platform::typhoon0_hlrc(procs);
     let mut t = Table::new(

@@ -3,6 +3,8 @@
 //! the paper's reported series; the `repro` binary prints them and can dump
 //! JSON records.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod experiments;
 pub mod runner;
 pub mod tables;

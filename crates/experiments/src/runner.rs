@@ -2,8 +2,7 @@
 //! memoization — many figures share them), and problem-size scaling.
 
 use bh_core::prelude::*;
-use parking_lot::Mutex;
-use serde::Serialize;
+use bh_core::sync::Mutex;
 use ssmp::{CostModel, Machine};
 use std::collections::HashMap;
 
@@ -48,7 +47,7 @@ impl ExperimentScale {
 }
 
 /// Everything one platform run yields.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PlatformRun {
     pub platform: String,
     pub algorithm: Algorithm,
@@ -103,7 +102,10 @@ pub fn seq_time_on_platform(cost: &CostModel, n: usize) -> (u64, u64) {
     let stats = run_simulation(&machine, &cfg, &workload(n));
     stats.assert_valid();
     let result = (stats.total_time(), stats.tree_time());
-    SEQ_CACHE.lock().get_or_insert_with(HashMap::new).insert(key, result);
+    SEQ_CACHE
+        .lock()
+        .get_or_insert_with(HashMap::new)
+        .insert(key, result);
     result
 }
 
@@ -118,8 +120,16 @@ pub fn run_on_platform(cost: &CostModel, alg: Algorithm, n: usize, procs: usize)
     let (seq_cycles, seq_tree_cycles) = seq_time_on_platform(cost, n);
     let total_cycles = stats.total_time();
     let tree_cycles = stats.tree_time();
-    let page_faults = stats.procs_records.iter().map(|r| r.final_stats.page_faults).sum();
-    let remote_misses = stats.procs_records.iter().map(|r| r.final_stats.remote_misses).sum();
+    let page_faults = stats
+        .procs_records
+        .iter()
+        .map(|r| r.final_stats.page_faults)
+        .sum();
+    let remote_misses = stats
+        .procs_records
+        .iter()
+        .map(|r| r.final_stats.remote_misses)
+        .sum();
     PlatformRun {
         platform: cost.name.clone(),
         algorithm: alg,

@@ -1,10 +1,8 @@
 //! Plain-text table rendering and JSON export for experiment results.
 
-use serde::Serialize;
-
 /// A rendered experiment result: rows/series matching what the paper's
 /// table or figure reports.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id, e.g. "Figure 6".
     pub id: String,
@@ -13,6 +11,31 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// What the paper reports for this experiment, for eyeball comparison.
     pub paper_expectation: String,
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect();
+    format!("[{}]", quoted.join(", "))
 }
 
 impl Table {
@@ -27,11 +50,22 @@ impl Table {
     }
 
     pub fn row<S: ToString>(&mut self, cells: Vec<S>) {
-        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
     }
 
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::to_value(self).expect("table serializes")
+    /// Serialize the table as a JSON object (the workspace builds offline,
+    /// so this is hand-rolled rather than serde-derived).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.rows.iter().map(|r| json_string_array(r)).collect();
+        format!(
+            "{{\"id\": \"{}\", \"title\": \"{}\", \"headers\": {}, \"rows\": [{}], \"paper_expectation\": \"{}\"}}",
+            json_escape(&self.id),
+            json_escape(&self.title),
+            json_string_array(&self.headers),
+            rows.join(", "),
+            json_escape(&self.paper_expectation),
+        )
     }
 }
 
@@ -57,7 +91,11 @@ impl std::fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }
@@ -91,12 +129,20 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip() {
+    fn json_has_fields_and_rows() {
         let mut t = Table::new("Table 1", "seq", &["a"], "x");
         t.row(vec![1.5f64]);
         let j = t.to_json();
-        assert_eq!(j["id"], "Table 1");
-        assert_eq!(j["rows"][0][0], "1.5");
+        assert!(j.contains("\"id\": \"Table 1\""));
+        assert!(j.contains("\"rows\": [[\"1.5\"]]"));
+        assert!(j.contains("\"headers\": [\"a\"]"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let t = Table::new("T", "quote \" and newline\n", &[], "");
+        assert!(t.to_json().contains("quote \\\" and newline\\n"));
     }
 
     #[test]

@@ -127,7 +127,10 @@ pub struct PageTable {
 
 impl PageTable {
     pub fn new() -> Self {
-        PageTable { map: HashMap::default(), dirty: Vec::new() }
+        PageTable {
+            map: HashMap::default(),
+            dirty: Vec::new(),
+        }
     }
 
     #[inline]
@@ -193,7 +196,14 @@ mod tests {
     fn page_table_roundtrip() {
         let mut pt = PageTable::new();
         assert!(pt.get(7).is_none());
-        pt.set(7, PageEntry { version: 3, checked_epoch: 1, writing: false });
+        pt.set(
+            7,
+            PageEntry {
+                version: 3,
+                checked_epoch: 1,
+                writing: false,
+            },
+        );
         let e = pt.get(7).unwrap();
         assert_eq!(e.version, 3);
         pt.entry_mut(7).unwrap().writing = true;

@@ -6,10 +6,8 @@
 //! design — the simulator reproduces the *shape* of the paper's results, not
 //! absolute seconds.
 
-use serde::{Deserialize, Serialize};
-
 /// Consistency/coherence protocol family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
     /// Eager write-invalidate at cache-line granularity over a shared bus:
     /// every miss costs the same (centralized memory). SGI Challenge.
@@ -43,7 +41,7 @@ impl Protocol {
 }
 
 /// Full platform cost model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
     pub name: String,
     pub protocol: Protocol,

@@ -20,6 +20,8 @@
 //! stats.assert_valid();
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cache;
 pub mod config;
 pub mod machine;

@@ -25,12 +25,11 @@
 //!   epoch, forcing lazy revalidation of every cached page on first use —
 //!   pages that actually changed pay a full software page fault.
 
+use crate::cache::GrainMap;
 use crate::cache::{Held, PageEntry, PageTable, PrivateCache};
 use crate::config::CostModel;
 use bh_core::env::{CtxStats, Env, Placement, VAddr};
-use parking_lot::lock_api::RawMutex as _;
-use parking_lot::{Mutex, RawMutex};
-use crate::cache::GrainMap;
+use bh_core::sync::{Mutex, RawLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -76,7 +75,7 @@ struct LockVt {
 }
 
 struct LockSlot {
-    real: RawMutex,
+    real: RawLock,
     vt: Mutex<LockVt>,
     /// Real-time queue depth: processors currently blocked on `real`.
     waiters: std::sync::atomic::AtomicU32,
@@ -127,25 +126,38 @@ pub struct SimCtx {
 
 impl Machine {
     pub fn new(cost: CostModel, procs: usize) -> Machine {
-        assert!((1..=64).contains(&procs), "1..=64 simulated processors supported");
+        assert!(
+            (1..=64).contains(&procs),
+            "1..=64 simulated processors supported"
+        );
         Machine {
             cost,
             procs,
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             locks: (0..LOCK_TABLE)
                 .map(|_| LockSlot {
-                    real: RawMutex::INIT,
-                    vt: Mutex::new(LockVt { last_release: 0, last_owner: -1, acquire_clock: 0, cs_last: 0 }),
+                    real: RawLock::new(),
+                    vt: Mutex::new(LockVt {
+                        last_release: 0,
+                        last_owner: -1,
+                        acquire_clock: 0,
+                        cs_last: 0,
+                    }),
                     waiters: std::sync::atomic::AtomicU32::new(0),
                 })
                 .collect(),
             rendezvous: Barrier::new(procs),
             barrier_clocks: (0..procs).map(|_| AtomicU64::new(0)).collect(),
             queues: (0..procs)
-                .map(|_| InvalQueue { flag: AtomicBool::new(false), msgs: Mutex::new(Vec::new()) })
+                .map(|_| InvalQueue {
+                    flag: AtomicBool::new(false),
+                    msgs: Mutex::new(Vec::new()),
+                })
                 .collect(),
             next_global: AtomicU64::new(GLOBAL_BASE),
-            next_local: (0..procs).map(|p| AtomicU64::new((p as u64 + 1) << LOCAL_SHIFT)).collect(),
+            next_local: (0..procs)
+                .map(|p| AtomicU64::new((p as u64 + 1) << LOCAL_SHIFT))
+                .collect(),
             notices: AtomicU64::new(0),
         }
     }
@@ -212,10 +224,11 @@ impl Machine {
             let my_bit = 1u64 << me;
             let home_local = self.home_of(grain * grain_bytes) == me;
             let mut shard = self.shard_of(grain).lock();
-            let line = shard
-                .lines
-                .entry(grain)
-                .or_insert_with(|| LineState { sharers: 0, exclusive: -1, service_end: 0 });
+            let line = shard.lines.entry(grain).or_insert_with(|| LineState {
+                sharers: 0,
+                exclusive: -1,
+                service_end: 0,
+            });
             let mut cost;
             if write {
                 // Fetch/upgrade + invalidate other copies.
@@ -233,7 +246,11 @@ impl Machine {
                     self.post(line.exclusive as usize, QMsg::Invalidate(grain));
                     cost += self.cost.t_invalidate;
                 }
-                let excl_mask = if line.exclusive >= 0 { 1u64 << line.exclusive as u64 } else { 0 };
+                let excl_mask = if line.exclusive >= 0 {
+                    1u64 << line.exclusive as u64
+                } else {
+                    0
+                };
                 let others = line.sharers & !my_bit & !excl_mask;
                 let n_others = others.count_ones() as u64;
                 cost += self.cost.t_invalidate * n_others;
@@ -254,7 +271,11 @@ impl Machine {
                     self.post(line.exclusive as usize, QMsg::Downgrade(grain));
                     line.exclusive = -1;
                 } else {
-                    cost = if home_local { self.cost.t_local_miss } else { self.cost.t_remote_miss };
+                    cost = if home_local {
+                        self.cost.t_local_miss
+                    } else {
+                        self.cost.t_remote_miss
+                    };
                 }
                 line.sharers |= my_bit;
                 drop(shard);
@@ -286,13 +307,27 @@ impl Machine {
                     Some(e) if e.version == gv => {
                         // Unchanged since we fetched it: cheap check.
                         ctx.clock += self.cost.t_check;
-                        ctx.pages.set(page, PageEntry { version: gv, checked_epoch: ctx.epoch, writing: e.writing });
+                        ctx.pages.set(
+                            page,
+                            PageEntry {
+                                version: gv,
+                                checked_epoch: ctx.epoch,
+                                writing: e.writing,
+                            },
+                        );
                     }
                     Some(e) => {
                         // Page was modified by someone else: software fault,
                         // serialized at the page's home (handler occupancy).
                         self.fault(ctx, page);
-                        ctx.pages.set(page, PageEntry { version: gv, checked_epoch: ctx.epoch, writing: e.writing });
+                        ctx.pages.set(
+                            page,
+                            PageEntry {
+                                version: gv,
+                                checked_epoch: ctx.epoch,
+                                writing: e.writing,
+                            },
+                        );
                     }
                     None => {
                         // Cold map-in. Locally homed fresh pages are cheap;
@@ -304,7 +339,14 @@ impl Machine {
                         } else {
                             self.fault(ctx, page);
                         }
-                        ctx.pages.set(page, PageEntry { version: gv, checked_epoch: ctx.epoch, writing: false });
+                        ctx.pages.set(
+                            page,
+                            PageEntry {
+                                version: gv,
+                                checked_epoch: ctx.epoch,
+                                writing: false,
+                            },
+                        );
                     }
                 }
             } else {
@@ -370,7 +412,10 @@ impl Machine {
         let backlog = {
             let mut shard = self.shard_of(page).lock();
             let meta = shard.pages.entry(page).or_default();
-            let backlog = meta.service_end.saturating_sub(ctx.clock).min(self.procs as u64 * occ);
+            let backlog = meta
+                .service_end
+                .saturating_sub(ctx.clock)
+                .min(self.procs as u64 * occ);
             meta.service_end = ctx.clock + backlog + occ;
             backlog
         };
@@ -413,7 +458,12 @@ impl Env for Machine {
         let mut cur = counter.load(Ordering::Relaxed);
         loop {
             let base = (cur + align - 1) & !(align - 1);
-            match counter.compare_exchange_weak(cur, base + bytes, Ordering::Relaxed, Ordering::Relaxed) {
+            match counter.compare_exchange_weak(
+                cur,
+                base + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => return base,
                 Err(actual) => cur = actual,
             }
@@ -454,11 +504,15 @@ impl Env for Machine {
             let grain = addr / self.cost.grain as u64;
             let backlog = {
                 let mut shard = self.shard_of(grain).lock();
-                let line = shard
-                    .lines
-                    .entry(grain)
-                    .or_insert_with(|| LineState { sharers: 0, exclusive: -1, service_end: 0 });
-                let backlog = line.service_end.saturating_sub(ctx.clock).min(self.procs as u64 * occ);
+                let line = shard.lines.entry(grain).or_insert_with(|| LineState {
+                    sharers: 0,
+                    exclusive: -1,
+                    service_end: 0,
+                });
+                let backlog = line
+                    .service_end
+                    .saturating_sub(ctx.clock)
+                    .min(self.procs as u64 * occ);
                 line.service_end = ctx.clock + backlog + occ;
                 backlog
             };
@@ -535,8 +589,7 @@ impl Env for Machine {
             let cs = ctx.clock.saturating_sub(vt.acquire_clock);
             vt.cs_last = (vt.cs_last + cs) / 2;
         }
-        // SAFETY: pairs with the `lock` above per the Env contract.
-        unsafe { slot.real.unlock() };
+        slot.real.unlock();
     }
 
     fn barrier(&self, ctx: &mut SimCtx) {
@@ -613,7 +666,10 @@ mod tests {
         let c1 = ctx.clock;
         m.read(&mut ctx, remote, 8);
         let remote_cost = ctx.clock - c1;
-        assert!(remote_cost > local_cost, "remote {remote_cost} <= local {local_cost}");
+        assert!(
+            remote_cost > local_cost,
+            "remote {remote_cost} <= local {local_cost}"
+        );
         let s = m.stats(&ctx);
         assert_eq!(s.local_misses, 1);
         assert_eq!(s.remote_misses, 1);
@@ -696,7 +752,10 @@ mod tests {
         m.read(&mut c0, a, 8);
         let cost = c0.clock - before;
         m.unlock(&mut c0, 9);
-        assert!(cost >= m.cost_model().t_page_fault, "expected page fault after acquire, got {cost}");
+        assert!(
+            cost >= m.cost_model().t_page_fault,
+            "expected page fault after acquire, got {cost}"
+        );
         // The cold map-in of the locally-homed page was cheap; only the
         // post-acquire revalidation is a real fault.
         assert_eq!(m.stats(&c0).page_faults, 1);
@@ -719,7 +778,11 @@ mod tests {
         // acquire time must not precede P1's virtual release.
         assert!(c0.clock < release_time);
         m.lock(&mut c0, 3);
-        assert!(c0.clock >= release_time, "acquire at {} before release at {release_time}", c0.clock);
+        assert!(
+            c0.clock >= release_time,
+            "acquire at {} before release at {release_time}",
+            c0.clock
+        );
         m.unlock(&mut c0, 3);
     }
 
@@ -847,7 +910,10 @@ mod tests {
         m.rmw(&mut c1, a, 4);
         let t1 = c1.clock;
         assert!(t0 >= occ);
-        assert!(t1 > t0.min(occ), "second atomic did not queue: {t1} vs {t0}");
+        assert!(
+            t1 > t0.min(occ),
+            "second atomic did not queue: {t1} vs {t0}"
+        );
     }
 
     #[test]
@@ -863,10 +929,17 @@ mod tests {
         m.read(&mut c1, a, 8);
         let before = c0.clock;
         m.read(&mut c0, a, 8);
-        assert_eq!(c0.clock - before, m.cost_model().t_hit, "read after downgrade must hit");
+        assert_eq!(
+            c0.clock - before,
+            m.cost_model().t_hit,
+            "read after downgrade must hit"
+        );
         let before = c0.clock;
         m.write(&mut c0, a, 8);
-        assert!(c0.clock - before > m.cost_model().t_hit, "write after downgrade must upgrade");
+        assert!(
+            c0.clock - before > m.cost_model().t_hit,
+            "write after downgrade must upgrade"
+        );
     }
 
     #[test]
@@ -878,11 +951,17 @@ mod tests {
         let before = ctx.clock;
         m.write(&mut ctx, a, 8);
         let first_write = ctx.clock - before;
-        assert!(first_write >= m.cost_model().t_twin, "first write must pay twin creation");
+        assert!(
+            first_write >= m.cost_model().t_twin,
+            "first write must pay twin creation"
+        );
         let before = ctx.clock;
         m.write(&mut ctx, a + 64, 8);
         let second_write = ctx.clock - before;
-        assert!(second_write < m.cost_model().t_twin, "second write must not re-twin");
+        assert!(
+            second_write < m.cost_model().t_twin,
+            "second write must not re-twin"
+        );
     }
 
     #[test]

@@ -85,12 +85,12 @@ pub fn paragon_hlrc(_procs: usize) -> CostModel {
         t_lock_transfer: 18_000, // lock acquisition rides on the page protocol: ~3 messages + lock-page operations
         t_barrier: 10_000,
         t_page_fault: 7_500,
-        t_twin: 900,  // copy 4 KB locally
-        t_diff: 1_800, // make + send diff
-        t_check: 35,  // per-page revalidation at first touch after acquire
-        t_notice: 1_200, // per write-notice processed at an acquire (software)
+        t_twin: 900,              // copy 4 KB locally
+        t_diff: 1_800,            // make + send diff
+        t_check: 35,              // per-page revalidation at first touch after acquire
+        t_notice: 1_200,          // per write-notice processed at an acquire (software)
         t_fault_occupancy: 4_000, // handler occupancy at the page's home
-        t_rmw_occupancy: 0, // RMW rides on the page protocol
+        t_rmw_occupancy: 0,       // RMW rides on the page protocol
     }
 }
 
@@ -110,7 +110,7 @@ pub fn typhoon0_hlrc(_procs: usize) -> CostModel {
         t_local_miss: 35,
         t_remote_miss: 35,
         t_invalidate: 0,
-        t_lock: 5_000, // ≈ 75 µs software lock path
+        t_lock: 5_000,          // ≈ 75 µs software lock path
         t_lock_transfer: 9_000, // ≈ 135 µs: 3-hop transfer + lock-page operations
         t_barrier: 6_000,
         t_page_fault: 4_600, // ≈ 70 µs page fault service

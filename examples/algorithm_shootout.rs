@@ -17,7 +17,10 @@ fn main() {
     // Reference structure for cross-checking.
     let reference = SeqTree::build(&bodies, 8);
     let (cells, leaves) = reference.cell_and_leaf_counts();
-    println!("{n} bodies -> octree with {cells} cells, {leaves} leaves, depth {}\n", reference.depth());
+    println!(
+        "{n} bodies -> octree with {cells} cells, {leaves} leaves, depth {}\n",
+        reference.depth()
+    );
     println!(
         "{:<8} {:>10} {:>10} {:>12} {:>12} {:>10}",
         "alg", "tree ms", "total ms", "tree locks", "lock/body", "tree%"
@@ -45,7 +48,12 @@ fn main() {
     // Structural agreement: every rebuild algorithm produces the exact tree
     // the sequential code does (UPDATE may retain extra empty cells).
     println!("\nCross-checking structural agreement against the sequential tree...");
-    for alg in [Algorithm::Orig, Algorithm::Local, Algorithm::Partree, Algorithm::Space] {
+    for alg in [
+        Algorithm::Orig,
+        Algorithm::Local,
+        Algorithm::Partree,
+        Algorithm::Space,
+    ] {
         let env = NativeEnv::new(threads);
         let world = World::new(&env, &bodies);
         let tree = SharedTree::new(&env, n, 8, alg.layout());
@@ -57,8 +65,7 @@ fn main() {
             builder.com(&env, ctx, &tree, &world, proc, 0);
             env.barrier(ctx);
         });
-        validate::matches_reference(&tree, &reference)
-            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        validate::matches_reference(&tree, &reference).unwrap_or_else(|e| panic!("{alg}: {e}"));
         println!("  {alg:<8} matches the sequential reference exactly");
     }
 }

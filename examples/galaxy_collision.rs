@@ -20,10 +20,17 @@ fn main() {
 
     println!("Two {}-body clusters approaching head-on...", n / 2);
     let mut bodies = Model::TwoClusterCollision.generate(n, 7);
-    let params = ForceParams { theta: 0.8, eps: 0.05, gravity: 1.0 };
+    let params = ForceParams {
+        theta: 0.8,
+        eps: 0.05,
+        gravity: 1.0,
+    };
     let e0 = total_energy(&bodies, params.gravity, params.eps);
     println!("initial total energy: {e0:.4}\n");
-    println!("{:>6} {:>12} {:>12} {:>12} {:>10}", "step", "separation", "energy", "drift", "tree%");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "step", "separation", "energy", "drift", "tree%"
+    );
 
     let env = NativeEnv::new(threads);
     for epoch in 0..epochs {

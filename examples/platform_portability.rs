@@ -40,7 +40,10 @@ fn main() {
             cfg.measured_steps = 2;
             let stats = run_simulation(&machine, &cfg, &bodies);
             stats.assert_valid();
-            (seq.total_time() as f64 / stats.total_time().max(1) as f64, stats.tree_fraction())
+            (
+                seq.total_time() as f64 / stats.total_time().max(1) as f64,
+                stats.tree_fraction(),
+            )
         };
         let (local_s, local_f) = run(Algorithm::Local);
         let (space_s, space_f) = run(Algorithm::Space);

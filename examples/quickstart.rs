@@ -27,7 +27,10 @@ fn main() {
 
     let total_ms = stats.total_time() as f64 / 1e6;
     println!("\nmeasured wall time     : {total_ms:.1} ms over {steps} steps");
-    println!("tree-build share       : {:.1}%", 100.0 * stats.tree_fraction());
+    println!(
+        "tree-build share       : {:.1}%",
+        100.0 * stats.tree_fraction()
+    );
     println!(
         "locks in tree build    : {} total across {} threads (SPACE is lock-free)",
         stats.tree_locks_per_proc().iter().sum::<u64>(),

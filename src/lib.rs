@@ -7,6 +7,8 @@
 //!   platform substrate).
 //! * [`bh_experiments`] — the harness regenerating every table and figure.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub use bh_core;
 pub use bh_experiments;
 pub use ssmp;

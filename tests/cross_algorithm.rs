@@ -132,7 +132,11 @@ fn leaf_capacity_sweep_is_valid_and_equivalent() {
     // Positions after one step should be close across k (same physics, the
     // opening criterion sees slightly different cells).
     for pair in finals.windows(2) {
-        let drift: f64 = pair[0].iter().zip(&pair[1]).map(|(a, b)| a.pos.dist(b.pos)).sum::<f64>()
+        let drift: f64 = pair[0]
+            .iter()
+            .zip(&pair[1])
+            .map(|(a, b)| a.pos.dist(b.pos))
+            .sum::<f64>()
             / pair[0].len() as f64;
         assert!(drift < 1e-3, "k-variation drift {drift}");
     }

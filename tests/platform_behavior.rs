@@ -4,7 +4,12 @@
 use bh_repro::bh_core::prelude::*;
 use bh_repro::ssmp::{platform, Machine};
 
-fn run(cost: &bh_repro::ssmp::CostModel, alg: Algorithm, n: usize, procs: usize) -> bh_repro::bh_core::app::RunStats {
+fn run(
+    cost: &bh_repro::ssmp::CostModel,
+    alg: Algorithm,
+    n: usize,
+    procs: usize,
+) -> bh_repro::bh_core::app::RunStats {
     let machine = Machine::new(cost.clone(), procs);
     let mut cfg = SimConfig::new(alg);
     cfg.warmup_steps = 1;
@@ -34,7 +39,10 @@ fn lock_count_ordering_matches_figure_15() {
     let space = locks(Algorithm::Space);
     assert!(orig >= 4096, "ORIG locks {orig} below one per body");
     assert!(local >= 4096, "LOCAL locks {local} below one per body");
-    assert!(partree * 3 < local, "PARTREE {partree} not well below LOCAL {local}");
+    assert!(
+        partree * 3 < local,
+        "PARTREE {partree} not well below LOCAL {local}"
+    );
     assert_eq!(space, 0);
 }
 
@@ -68,7 +76,10 @@ fn hardware_coherence_keeps_all_algorithms_close() {
     // On the Challenge every algorithm speeds up well (paper Figure 6):
     // total times within ~25% of each other.
     let cost = platform::challenge(8);
-    let times: Vec<u64> = Algorithm::ALL.iter().map(|&a| run(&cost, a, 8192, 8).total_time()).collect();
+    let times: Vec<u64> = Algorithm::ALL
+        .iter()
+        .map(|&a| run(&cost, a, 8192, 8).total_time())
+        .collect();
     let min = *times.iter().min().unwrap() as f64;
     let max = *times.iter().max().unwrap() as f64;
     assert!(max / min < 1.3, "spread too large on Challenge: {times:?}");
@@ -96,18 +107,30 @@ fn tree_build_is_tiny_sequentially_on_every_platform() {
 #[test]
 fn page_faults_only_on_svm_platforms() {
     let hw = run(&platform::origin2000(4), Algorithm::Local, 2048, 4);
-    let faults: u64 = hw.procs_records.iter().map(|r| r.final_stats.page_faults).sum();
+    let faults: u64 = hw
+        .procs_records
+        .iter()
+        .map(|r| r.final_stats.page_faults)
+        .sum();
     assert_eq!(faults, 0, "page faults on a hardware-coherent platform");
 
     let svm = run(&platform::typhoon0_hlrc(4), Algorithm::Local, 2048, 4);
-    let faults: u64 = svm.procs_records.iter().map(|r| r.final_stats.page_faults).sum();
+    let faults: u64 = svm
+        .procs_records
+        .iter()
+        .map(|r| r.final_stats.page_faults)
+        .sum();
     assert!(faults > 0, "no page faults on an SVM platform");
 }
 
 #[test]
 fn remote_misses_only_on_distributed_eager_platforms() {
     let stats = run(&platform::origin2000(4), Algorithm::Local, 2048, 4);
-    let remote: u64 = stats.procs_records.iter().map(|r| r.final_stats.remote_misses).sum();
+    let remote: u64 = stats
+        .procs_records
+        .iter()
+        .map(|r| r.final_stats.remote_misses)
+        .sum();
     assert!(remote > 0, "no remote misses on the Origin");
 }
 
@@ -129,7 +152,13 @@ fn simulated_seconds_are_plausible() {
     };
     let o1 = t(&origin, n1);
     let o2 = t(&origin, n2);
-    assert!(o2 > 3.0 * o1, "superlinear-in-n growth expected: {o1} vs {o2}");
+    assert!(
+        o2 > 3.0 * o1,
+        "superlinear-in-n growth expected: {o1} vs {o2}"
+    );
     let p1 = t(&paragon, n1);
-    assert!(p1 > 3.0 * o1, "Paragon ({p1}s) should be much slower than Origin ({o1}s)");
+    assert!(
+        p1 > 3.0 * o1,
+        "Paragon ({p1}s) should be much slower than Origin ({o1}s)"
+    );
 }

@@ -1,0 +1,263 @@
+//! Static audit of `unsafe` usage across the workspace.
+//!
+//! The reproduction deliberately confines unsafety to the shared-memory
+//! layer (see `crates/core/src/shared.rs` module docs). This test enforces
+//! that confinement mechanically:
+//!
+//! 1. `unsafe` may appear only in whitelisted modules;
+//! 2. every `unsafe` site must carry an adjacent `// SAFETY:` comment
+//!    stating why it is sound;
+//! 3. every workspace crate root must carry `#![deny(unsafe_op_in_unsafe_fn)]`.
+//!
+//! The scanner is intentionally line-based and conservative: commented-out
+//! code does not trip it, but it has no full parser — if it ever
+//! misclassifies a line, adjust the code (or the whitelist) rather than the
+//! scanner.
+
+use std::path::{Path, PathBuf};
+
+/// Modules allowed to contain `unsafe` (path suffixes, `/`-separated).
+/// A trailing `/` whitelists a directory.
+const WHITELIST: &[&str] = &[
+    "crates/core/src/shared.rs",
+    "crates/core/src/tree/",
+    "crates/core/src/env.rs",
+    "crates/ssmp/src/machine.rs",
+];
+
+/// Crate roots that must opt in to `deny(unsafe_op_in_unsafe_fn)`.
+const CRATE_ROOTS: &[&str] = &[
+    "src/lib.rs",
+    "crates/core/src/lib.rs",
+    "crates/ssmp/src/lib.rs",
+    "crates/experiments/src/lib.rs",
+];
+
+/// How many preceding code lines may separate a `// SAFETY:` comment from
+/// its `unsafe` site.
+const SAFETY_WINDOW: usize = 3;
+
+#[derive(Debug, PartialEq)]
+enum Violation {
+    /// `unsafe` outside the whitelist.
+    OutsideWhitelist { line: usize },
+    /// Whitelisted `unsafe` without an adjacent `// SAFETY:` comment.
+    MissingSafetyComment { line: usize },
+}
+
+/// True if the (comment-stripped) line contains `unsafe` as a word.
+fn mentions_unsafe(code: &str) -> bool {
+    code.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .any(|tok| tok == "unsafe")
+}
+
+/// Strip line comments and (approximately) string literals, so `unsafe`
+/// inside docs, comments or message strings does not count.
+fn code_portion(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Scan one file's source text for unsafe-audit violations.
+fn scan_source(src: &str, whitelisted: bool) -> Vec<Violation> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut violations = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        let code = code_portion(raw);
+        if !mentions_unsafe(&code) {
+            continue;
+        }
+        // The deny attribute itself and `unsafe_op_in_unsafe_fn` in cfgs
+        // are not unsafe code.
+        if code.contains("unsafe_op_in_unsafe_fn") {
+            continue;
+        }
+        if !whitelisted {
+            violations.push(Violation::OutsideWhitelist { line: i + 1 });
+            continue;
+        }
+        // Look for `SAFETY:` on this line or within the preceding window
+        // (comment lines in between don't consume the window).
+        let mut found = raw.contains("SAFETY:");
+        let mut code_lines_seen = 0;
+        for j in (0..i).rev() {
+            if lines[j].contains("SAFETY:") {
+                found = true;
+                break;
+            }
+            if !code_portion(lines[j]).trim().is_empty() {
+                code_lines_seen += 1;
+                if code_lines_seen >= SAFETY_WINDOW {
+                    break;
+                }
+            }
+        }
+        if !found {
+            violations.push(Violation::MissingSafetyComment { line: i + 1 });
+        }
+    }
+    violations
+}
+
+fn is_whitelisted(rel: &str) -> bool {
+    WHITELIST.iter().any(|w| {
+        if w.ends_with('/') {
+            rel.starts_with(w)
+        } else {
+            rel == *w
+        }
+    })
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_unsafe_is_whitelisted_and_documented() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    // Everything the workspace builds: library sources, the examples and
+    // these integration tests themselves.
+    for sub in ["crates", "src", "examples", "tests"] {
+        collect_rs_files(&root.join(sub), &mut files);
+    }
+    assert!(
+        files.len() >= 20,
+        "audit walked too few files: {}",
+        files.len()
+    );
+
+    let mut failures = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+        for v in scan_source(&src, is_whitelisted(&rel)) {
+            match v {
+                Violation::OutsideWhitelist { line } => failures.push(format!(
+                    "{rel}:{line}: `unsafe` outside the whitelisted modules"
+                )),
+                Violation::MissingSafetyComment { line } => failures.push(format!(
+                    "{rel}:{line}: `unsafe` without an adjacent `// SAFETY:` comment"
+                )),
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "unsafe audit failed:\n  {}\nEither document the site with a `// SAFETY:` comment, move it \
+         into the shared-memory layer, or (deliberately) extend the whitelist in tests/unsafe_audit.rs.",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn crate_roots_deny_unsafe_op_in_unsafe_fn() {
+    let root = repo_root();
+    for rel in CRATE_ROOTS {
+        let src =
+            std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+        assert!(
+            src.contains("#![deny(unsafe_op_in_unsafe_fn)]"),
+            "{rel}: missing #![deny(unsafe_op_in_unsafe_fn)]"
+        );
+    }
+}
+
+// ---- scanner self-tests on synthetic sources ------------------------------
+
+#[test]
+fn scanner_accepts_documented_unsafe_in_whitelisted_module() {
+    let src = "fn f(x: &UnsafeCell<u32>) -> u32 {\n    // SAFETY: caller holds the lock.\n    unsafe { *x.get() }\n}\n";
+    assert_eq!(scan_source(src, true), vec![]);
+}
+
+#[test]
+fn scanner_rejects_undocumented_unsafe() {
+    let src = "fn f(x: &UnsafeCell<u32>) -> u32 {\n    unsafe { *x.get() }\n}\n";
+    assert_eq!(
+        scan_source(src, true),
+        vec![Violation::MissingSafetyComment { line: 2 }]
+    );
+}
+
+#[test]
+fn scanner_rejects_unsafe_outside_whitelist_even_with_comment() {
+    let src = "// SAFETY: trust me.\nunsafe impl Sync for Foo {}\n";
+    assert_eq!(
+        scan_source(src, false),
+        vec![Violation::OutsideWhitelist { line: 2 }]
+    );
+}
+
+#[test]
+fn scanner_safety_window_is_bounded() {
+    // The SAFETY comment is 4 code lines above the site: out of range.
+    let src =
+        "// SAFETY: stale.\nlet a = 1;\nlet b = 2;\nlet c = 3;\nlet d = 4;\nunsafe { go() }\n";
+    assert_eq!(
+        scan_source(src, true),
+        vec![Violation::MissingSafetyComment { line: 6 }]
+    );
+}
+
+#[test]
+fn scanner_ignores_comments_and_strings() {
+    let src = "// unsafe in a comment\nlet s = \"unsafe in a string\";\n/// docs about unsafe\nlet unsafety = 1; // not the keyword\n";
+    assert_eq!(scan_source(src, false), vec![]);
+}
+
+#[test]
+fn scanner_flags_unsafe_impls_and_fns() {
+    let src = "unsafe impl Send for A {}\nunsafe fn raw() {}\n";
+    let vs = scan_source(src, true);
+    assert_eq!(
+        vs,
+        vec![
+            Violation::MissingSafetyComment { line: 1 },
+            Violation::MissingSafetyComment { line: 2 }
+        ]
+    );
+}
