@@ -22,4 +22,14 @@ cargo build --offline --release
 echo "== full test suite =="
 cargo test --offline -q --workspace
 
+echo "== repro smoke run + emitted-JSON schema checks =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+REPRO="$PWD/target/release/repro"
+(cd "$SMOKE_DIR" && "$REPRO" all --scale tiny \
+    --json results.json --trace trace.json >/dev/null)
+"$REPRO" check-json "$SMOKE_DIR/results.json"
+"$REPRO" check-json "$SMOKE_DIR/BENCH_tiny.json"
+"$REPRO" check-trace "$SMOKE_DIR/trace.json"
+
 echo "All checks passed."

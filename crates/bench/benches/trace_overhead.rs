@@ -1,0 +1,41 @@
+//! Observability cost: a full simulation step on host threads, bare versus
+//! wrapped in [`TraceEnv`]. The wrapper's hot path is pure delegation (its
+//! per-processor buffers are only touched at phase boundaries and lock
+//! acquires), so the two groups should be within noise of each other for
+//! the lock-free algorithms and within a few percent for ORIG.
+
+use bh_bench::workload;
+use bh_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn step_config(alg: Algorithm) -> SimConfig {
+    let mut cfg = SimConfig::new(alg);
+    cfg.warmup_steps = 0;
+    cfg.measured_steps = 1;
+    cfg.validate = false;
+    cfg
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let n = 20_000;
+    let threads = 4;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    for alg in [Algorithm::Orig, Algorithm::Space] {
+        group.bench_with_input(BenchmarkId::new("bare", alg.name()), &alg, |b, &alg| {
+            let env = NativeEnv::new(threads);
+            let cfg = step_config(alg);
+            b.iter(|| run_simulation(&env, &cfg, &bodies));
+        });
+        group.bench_with_input(BenchmarkId::new("traced", alg.name()), &alg, |b, &alg| {
+            let env = TraceEnv::new(NativeEnv::new(threads));
+            let cfg = step_config(alg);
+            b.iter(|| run_simulation(&env, &cfg, &bodies));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

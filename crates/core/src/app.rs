@@ -6,7 +6,7 @@
 
 use crate::algorithms::{Algorithm, Builder};
 use crate::body::Body;
-use crate::env::{CtxStats, Env};
+use crate::env::{CtxStats, Env, Phase};
 use crate::force::{force_phase, ForceParams};
 use crate::harness::spmd;
 use crate::partition::costzones;
@@ -75,6 +75,11 @@ impl PhaseSample {
 pub struct ProcRecord {
     pub proc: usize,
     pub steps: Vec<PhaseSample>,
+    /// Per-phase [`CtxStats`] deltas accumulated over the measured steps,
+    /// indexed by [`Phase::index`]: each phase's time, lock, barrier and
+    /// protocol activity on this processor (`time` equals the summed phase
+    /// times of [`ProcRecord::steps`]).
+    pub phases: [CtxStats; 4],
     /// Lock acquisitions during the measured tree-build phases (Figure 15).
     pub tree_locks: u64,
     /// Remote misses during the measured tree-build phases.
@@ -146,6 +151,24 @@ impl RunStats {
         self.procs_records.iter().map(|r| r.tree_locks).collect()
     }
 
+    /// One phase's measured statistics aggregated across processors:
+    /// counters are summed, `time` is the maximum over processors (the
+    /// phase's critical path, as the paper reports it).
+    pub fn phase_stats(&self, phase: Phase) -> CtxStats {
+        let mut agg = CtxStats::default();
+        for r in &self.procs_records {
+            let p = &r.phases[phase.index()];
+            agg.time = agg.time.max(p.time);
+            agg.lock_acquires += p.lock_acquires;
+            agg.lock_wait += p.lock_wait;
+            agg.barrier_wait += p.barrier_wait;
+            agg.remote_misses += p.remote_misses;
+            agg.local_misses += p.local_misses;
+            agg.page_faults += p.page_faults;
+        }
+        agg
+    }
+
     /// Total barrier wait time across processors during measured steps.
     pub fn barrier_wait_total(&self) -> u64 {
         self.procs_records.iter().map(|r| r.barrier_wait).sum()
@@ -192,6 +215,7 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
         let mut rec = ProcRecord {
             proc,
             steps: Vec::with_capacity(cfg.measured_steps),
+            phases: [CtxStats::default(); 4],
             tree_locks: 0,
             tree_remote_misses: 0,
             tree_page_faults: 0,
@@ -205,6 +229,7 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
             let t0 = env.now(ctx);
 
             // --- tree-build phase (bounds + build + CoM) ---
+            env.phase_begin(ctx, Phase::Tree, step as u32);
             let cube = crate::algorithms::common::bounds_phase(env, ctx, &world, proc);
             builder.build(env, ctx, &tree, &world, proc, step as u32, cube);
             env.barrier(ctx);
@@ -213,22 +238,31 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
             if cfg.validate && proc == 0 && step + 1 == total_steps {
                 *tree_snapshot.lock() = Some(world.positions());
             }
+            env.phase_end(ctx, Phase::Tree, step as u32);
             let t1 = env.now(ctx);
             let s1 = env.stats(ctx);
 
             // --- partition phase ---
+            env.phase_begin(ctx, Phase::Partition, step as u32);
             costzones(env, ctx, &tree, &world, proc);
             env.barrier(ctx);
+            env.phase_end(ctx, Phase::Partition, step as u32);
             let t2 = env.now(ctx);
+            let s2 = env.stats(ctx);
 
             // --- force phase ---
+            env.phase_begin(ctx, Phase::Force, step as u32);
             force_phase(env, ctx, &tree, &world, &cfg.force, proc);
             env.barrier(ctx);
+            env.phase_end(ctx, Phase::Force, step as u32);
             let t3 = env.now(ctx);
+            let s3 = env.stats(ctx);
 
             // --- update phase ---
+            env.phase_begin(ctx, Phase::Update, step as u32);
             update_phase(env, ctx, &world, proc, cfg.dt);
             env.barrier(ctx);
+            env.phase_end(ctx, Phase::Update, step as u32);
             let t4 = env.now(ctx);
             let s4 = env.stats(ctx);
 
@@ -239,6 +273,22 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
                     force: t3 - t2,
                     update: t4 - t3,
                 });
+                let mut deltas = [
+                    s1.delta_since(&s0),
+                    s2.delta_since(&s1),
+                    s3.delta_since(&s2),
+                    s4.delta_since(&s3),
+                ];
+                // Phase times are measured at barrier boundaries via `now`
+                // (`stats().time` may lag behind on some environments), so
+                // keep the two accounts consistent.
+                deltas[Phase::Tree.index()].time = t1 - t0;
+                deltas[Phase::Partition.index()].time = t2 - t1;
+                deltas[Phase::Force.index()].time = t3 - t2;
+                deltas[Phase::Update.index()].time = t4 - t3;
+                for (acc, d) in rec.phases.iter_mut().zip(&deltas) {
+                    acc.accumulate(d);
+                }
                 rec.tree_locks += s1.lock_acquires - s0.lock_acquires;
                 rec.tree_remote_misses += s1.remote_misses - s0.remote_misses;
                 rec.tree_page_faults += s1.page_faults - s0.page_faults;

@@ -66,7 +66,7 @@
 //! further sessions on the same environment (the final barrier orders
 //! everything before it against everything after).
 
-use crate::env::{CtxStats, Env, Placement, VAddr};
+use crate::env::{CtxStats, Env, Phase, Placement, VAddr};
 use crate::sync::Mutex;
 use std::collections::HashMap;
 
@@ -614,6 +614,16 @@ impl<E: Env> Env for CheckedEnv<E> {
         let joined = det.episodes[e].clone();
         join(&mut det.clocks[ctx.proc], &joined);
         det.clocks[ctx.proc][ctx.proc] += 1;
+    }
+
+    fn phase_begin(&self, ctx: &mut Self::Ctx, phase: Phase, step: u32) {
+        // Pure observability: no happens-before implications, but the hook
+        // must reach any tracing environment wrapped *inside* the detector.
+        self.inner.phase_begin(&mut ctx.inner, phase, step);
+    }
+
+    fn phase_end(&self, ctx: &mut Self::Ctx, phase: Phase, step: u32) {
+        self.inner.phase_end(&mut ctx.inner, phase, step);
     }
 
     fn now(&self, ctx: &Self::Ctx) -> u64 {

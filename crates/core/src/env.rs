@@ -41,6 +41,53 @@ pub enum Placement {
     Local(usize),
 }
 
+/// The four top-level phases of one Barnes-Hut step, in execution order.
+/// Used by the [`Env::phase_begin`]/[`Env::phase_end`] observability hooks
+/// and by the per-phase accounting in [`crate::app`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Bounds reduction + tree build + center-of-mass pass.
+    Tree,
+    /// Costzones partitioning.
+    Partition,
+    /// Force computation.
+    Force,
+    /// Position/velocity update.
+    Update,
+}
+
+impl Phase {
+    /// All phases in execution order; `ALL[p.index()] == p`.
+    pub const ALL: [Phase; 4] = [Phase::Tree, Phase::Partition, Phase::Force, Phase::Update];
+
+    /// Stable index into per-phase arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Tree => 0,
+            Phase::Partition => 1,
+            Phase::Force => 2,
+            Phase::Update => 3,
+        }
+    }
+
+    /// Lower-case name, used for trace span labels and table rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Tree => "tree",
+            Phase::Partition => "partition",
+            Phase::Force => "force",
+            Phase::Update => "update",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Per-context statistics an environment can report after a run.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct CtxStats {
@@ -58,6 +105,36 @@ pub struct CtxStats {
     pub local_misses: u64,
     /// Page faults / protocol handler invocations (SVM platforms only).
     pub page_faults: u64,
+}
+
+impl CtxStats {
+    /// Field-wise difference against an earlier snapshot of the *same*
+    /// context. All fields are monotonic counters (including `time`), so
+    /// the difference is the activity between the two snapshots; saturating
+    /// arithmetic keeps a misuse from panicking in release builds.
+    pub fn delta_since(&self, earlier: &CtxStats) -> CtxStats {
+        CtxStats {
+            time: self.time.saturating_sub(earlier.time),
+            lock_acquires: self.lock_acquires.saturating_sub(earlier.lock_acquires),
+            lock_wait: self.lock_wait.saturating_sub(earlier.lock_wait),
+            barrier_wait: self.barrier_wait.saturating_sub(earlier.barrier_wait),
+            remote_misses: self.remote_misses.saturating_sub(earlier.remote_misses),
+            local_misses: self.local_misses.saturating_sub(earlier.local_misses),
+            page_faults: self.page_faults.saturating_sub(earlier.page_faults),
+        }
+    }
+
+    /// Field-wise accumulation of a delta produced by
+    /// [`CtxStats::delta_since`].
+    pub fn accumulate(&mut self, delta: &CtxStats) {
+        self.time += delta.time;
+        self.lock_acquires += delta.lock_acquires;
+        self.lock_wait += delta.lock_wait;
+        self.barrier_wait += delta.barrier_wait;
+        self.remote_misses += delta.remote_misses;
+        self.local_misses += delta.local_misses;
+        self.page_faults += delta.page_faults;
+    }
 }
 
 /// A shared-address-space execution environment. See the module docs.
@@ -140,6 +217,19 @@ pub trait Env: Sync {
     /// Global barrier across all processors.
     fn barrier(&self, ctx: &mut Self::Ctx);
 
+    /// Observability hook: processor `ctx` is entering `phase` of step
+    /// `step` (warm-up steps included). Emitted by [`crate::app`] at every
+    /// phase boundary; execution environments and cost models ignore it
+    /// (the default is a no-op and charges nothing), while tracing wrappers
+    /// ([`crate::trace::TraceEnv`]) open a span. Wrapper environments must
+    /// forward it to their inner environment.
+    fn phase_begin(&self, _ctx: &mut Self::Ctx, _phase: Phase, _step: u32) {}
+
+    /// Observability hook: processor `ctx` is leaving `phase` of step
+    /// `step`. Must pair with a previous [`Env::phase_begin`]. See
+    /// [`Env::phase_begin`].
+    fn phase_end(&self, _ctx: &mut Self::Ctx, _phase: Phase, _step: u32) {}
+
     /// Current time for this processor: wall nanoseconds (native) or
     /// simulated cycles (ssmp).
     fn now(&self, ctx: &Self::Ctx) -> u64;
@@ -157,9 +247,17 @@ pub const NATIVE_LOCK_TABLE: usize = 4096;
 
 /// Map a lock id into a table of `table` entries, preserving the reserved
 /// low range (see [`crate::tree::types::RESERVED_LOCKS`]).
+///
+/// `table` must be strictly larger than the reserved range: with
+/// `table <= 64` the modulo would alias node locks into (or past) the
+/// reserved slots, silently breaking the free-list/node-lock separation.
 #[inline]
 pub fn lock_slot(id: usize, table: usize) -> usize {
     const RESERVED: usize = 64;
+    debug_assert!(
+        table > RESERVED,
+        "lock table of {table} entries cannot preserve the {RESERVED} reserved slots"
+    );
     if id < RESERVED {
         id
     } else {
@@ -352,6 +450,84 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn lock_slot_preserves_reserved_range() {
+        for id in 0..64 {
+            assert_eq!(lock_slot(id, NATIVE_LOCK_TABLE), id);
+        }
+        for id in [64usize, 65, 4095, 4096, 1 << 20] {
+            let slot = lock_slot(id, NATIVE_LOCK_TABLE);
+            assert!((64..NATIVE_LOCK_TABLE).contains(&slot), "id {id} -> {slot}");
+        }
+        // The smallest legal table still separates the two ranges.
+        assert_eq!(lock_slot(64, 65), 64);
+        assert_eq!(lock_slot(129, 65), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot preserve")]
+    fn lock_slot_rejects_tiny_tables() {
+        // A table no larger than the reserved range would alias node locks
+        // into the reserved slots (or divide by zero); it must fail loudly.
+        let _ = lock_slot(100, 64);
+    }
+
+    #[test]
+    fn ctx_stats_delta_and_accumulate_roundtrip() {
+        let s0 = CtxStats {
+            time: 100,
+            lock_acquires: 3,
+            lock_wait: 10,
+            barrier_wait: 5,
+            remote_misses: 2,
+            local_misses: 7,
+            page_faults: 1,
+        };
+        let s1 = CtxStats {
+            time: 250,
+            lock_acquires: 8,
+            lock_wait: 40,
+            barrier_wait: 9,
+            remote_misses: 2,
+            local_misses: 11,
+            page_faults: 4,
+        };
+        let d = s1.delta_since(&s0);
+        assert_eq!(d.time, 150);
+        assert_eq!(d.lock_acquires, 5);
+        assert_eq!(d.lock_wait, 30);
+        assert_eq!(d.barrier_wait, 4);
+        assert_eq!(d.remote_misses, 0);
+        assert_eq!(d.local_misses, 4);
+        assert_eq!(d.page_faults, 3);
+        let mut acc = s0;
+        acc.accumulate(&d);
+        assert_eq!(acc, s1);
+    }
+
+    #[test]
+    fn phase_metadata_is_consistent() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert_eq!(Phase::Tree.name(), "tree");
+    }
+
+    #[test]
+    fn phase_hooks_default_to_noops() {
+        // The hooks must be callable on any Env without affecting time or
+        // statistics.
+        let env = NativeEnv::new(1);
+        let mut ctx = env.make_ctx(0);
+        let before = env.stats(&ctx);
+        env.phase_begin(&mut ctx, Phase::Tree, 0);
+        env.phase_end(&mut ctx, Phase::Tree, 0);
+        let after = env.stats(&ctx);
+        assert_eq!(before.lock_acquires, after.lock_acquires);
+        assert_eq!(before.barrier_wait, after.barrier_wait);
     }
 
     #[test]

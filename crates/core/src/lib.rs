@@ -45,6 +45,7 @@ pub mod rng;
 pub mod seq_app;
 pub mod shared;
 pub mod sync;
+pub mod trace;
 pub mod tree;
 pub mod update_phase;
 pub mod world;
@@ -55,10 +56,11 @@ pub mod prelude {
     pub use crate::app::{run_simulation, run_simulation_with_state, RunStats, SimConfig};
     pub use crate::body::Body;
     pub use crate::check::{CheckedEnv, Granularity, RaceReport};
-    pub use crate::env::{Env, NativeEnv, Placement};
+    pub use crate::env::{CtxStats, Env, NativeEnv, Phase, Placement};
     pub use crate::force::ForceParams;
     pub use crate::math::{Aabb, Cube, Vec3};
     pub use crate::model::Model;
+    pub use crate::trace::TraceEnv;
     pub use crate::tree::{SeqTree, SharedTree, TreeLayout};
     pub use crate::world::World;
 }

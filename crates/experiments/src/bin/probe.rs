@@ -3,8 +3,14 @@
 //! debugging aid for the cost models.
 //!
 //! ```text
-//! probe <platform> <algorithm> <n> <procs>
+//! probe <platform|native> <algorithm> <n> <procs> [--trace <path>]
 //! ```
+//!
+//! With `--trace`, the run is instrumented with [`TraceEnv`] and a
+//! Chrome/Perfetto trace (one track per processor, spans for all four
+//! phases plus contended lock acquires) is written to `<path>`, and the
+//! trace summary table is printed after the per-processor diagnostics.
+//! Native timestamps are wall-clock; simulated ones are platform cycles.
 
 use bh_core::prelude::*;
 use ssmp::{platform, CostModel, Machine};
@@ -24,21 +30,57 @@ fn set_override(cost: &mut CostModel, key: &str, v: u64) {
     }
 }
 
+fn usage() -> ! {
+    eprintln!("usage: probe <platform|native> <algorithm> <n> <procs> [--trace <path>]");
+    std::process::exit(2);
+}
+
+/// Run traced, print the summary, and write the Chrome trace to `path`.
+fn run_traced<E: Env>(
+    env: E,
+    cfg: &SimConfig,
+    bodies: &[Body],
+    path: &str,
+    label: &str,
+    unit: &str,
+    ts_div: f64,
+) -> RunStats {
+    let traced = TraceEnv::new(env);
+    let stats = run_simulation(&traced, cfg, bodies);
+    std::fs::write(path, traced.chrome_trace_json(label, ts_div)).expect("write trace");
+    eprintln!("[wrote {path} — open in https://ui.perfetto.dev]");
+    println!("{}", traced.summary(unit));
+    stats
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path: Option<String> = None;
+    if let Some(at) = args.iter().position(|a| a == "--trace") {
+        if at + 1 >= args.len() {
+            usage();
+        }
+        trace_path = Some(args.remove(at + 1));
+        args.remove(at);
+    }
     if args.len() != 4 {
-        eprintln!("usage: probe <platform|native> <algorithm> <n> <procs>");
-        std::process::exit(2);
+        usage();
     }
     let alg = Algorithm::parse(&args[1]).expect("unknown algorithm");
     let n: usize = args[2].parse().expect("n");
     let procs: usize = args[3].parse().expect("procs");
     let bodies = Model::Plummer.generate(n, 1998);
     let cfg = SimConfig::new(alg);
+    let label = format!("{} {alg}", args[0]);
 
     let stats = if args[0] == "native" {
         let env = NativeEnv::new(procs);
-        run_simulation(&env, &cfg, &bodies)
+        match &trace_path {
+            // Native timestamps are nanoseconds; /1000 puts them on the
+            // trace viewer's microsecond axis.
+            Some(path) => run_traced(env, &cfg, &bodies, path, &label, "ns", 1000.0),
+            None => run_simulation(&env, &cfg, &bodies),
+        }
     } else {
         let mut cost = platform::by_name(&args[0], procs).expect("unknown platform");
         // Calibration overrides: PROBE_<FIELD>=value.
@@ -57,7 +99,11 @@ fn main() {
             }
         }
         let machine = Machine::new(cost, procs);
-        run_simulation(&machine, &cfg, &bodies)
+        match &trace_path {
+            // Simulated clocks tick in cycles; render one cycle per µs.
+            Some(path) => run_traced(machine, &cfg, &bodies, path, &label, "cycles", 1.0),
+            None => run_simulation(&machine, &cfg, &bodies),
+        }
     };
     stats.assert_valid();
 
@@ -79,6 +125,20 @@ fn main() {
         println!(
             "  P{:<2} tree={:>12} part={:>10} force={:>12} upd={:>10} | tlocks={:<5} tlockwait={:<11} tremote={:<7} tfaults={:<6} | locks={:<6} barrwait={:<12} faults={:<8} remote={:<9} local={}",
             r.proc, tree, part, force, upd, r.tree_locks, r.tree_lock_wait, r.tree_remote_misses, r.tree_page_faults, f.lock_acquires, f.barrier_wait, f.page_faults, f.remote_misses, f.local_misses
+        );
+    }
+    println!("per-phase totals (measured steps, counters summed / time maxed):");
+    for phase in Phase::ALL {
+        let s = stats.phase_stats(phase);
+        println!(
+            "  {:<9} time={:>12} locks={:<6} lockwait={:<11} barrwait={:<12} remote={:<9} faults={}",
+            phase.name(),
+            s.time,
+            s.lock_acquires,
+            s.lock_wait,
+            s.barrier_wait,
+            s.remote_misses,
+            s.page_faults
         );
     }
 }

@@ -1,67 +1,137 @@
 //! `repro` — regenerate the tables and figures of Shan & Singh (IPPS 1998).
 //!
 //! ```text
-//! repro <experiment|all> [--scale tiny|small|full] [--json <path>]
+//! repro <experiment|all> [--scale tiny|small|full] [--json <path>] [--trace <path>]
+//! repro check-json <path>
+//! repro check-trace <path>
 //!
 //! experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 table2
-//!              fig12 fig13 fig14 sc442 fig15
+//!              fig12 fig13 fig14 sc442 fig15 treebuild
 //! ```
 //!
 //! `--scale small` (default) runs the paper's problem sizes divided by 8;
 //! `--scale full` runs the paper sizes (slow); `--scale tiny` is a smoke
 //! test. Results are printed as text tables; `--json` additionally writes a
 //! machine-readable record.
+//!
+//! The `treebuild` experiment (also part of `all`) instruments every
+//! algorithm with `TraceEnv` on both a native machine and a simulated
+//! Origin2000, emits `BENCH_<scale>.json` with per-algorithm tree-build
+//! metrics, and — with `--trace <path>` — writes a Chrome/Perfetto trace
+//! with one track per processor.
+//!
+//! `check-json` / `check-trace` validate previously emitted documents; the
+//! pre-merge gate uses them as schema sanity checks.
 
 use bh_experiments::experiments;
+use bh_experiments::json::Json;
 use bh_experiments::runner::ExperimentScale;
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: repro <experiment|all> [--scale tiny|small|full] [--json <path>]\n\
-         experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 table2 fig12 fig13 fig14 sc442 fig15"
-    );
+fn usage_text() -> String {
+    format!(
+        "usage: repro <experiment|all> [--scale {}] [--json <path>] [--trace <path>]\n\
+         \x20      repro check-json <path>\n\
+         \x20      repro check-trace <path>\n\
+         experiments: {}",
+        ExperimentScale::NAMES.join("|"),
+        experiments::EXPERIMENT_NAMES.join(" ")
+    )
+}
+
+/// Print a specific diagnostic plus the usage banner, then exit non-zero.
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("{}", usage_text());
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        usage();
+        die("missing experiment name");
     }
+
+    // Validation subcommands: exercise the JSON reader against emitted files.
+    match args[0].as_str() {
+        "check-json" => {
+            let path = args
+                .get(1)
+                .unwrap_or_else(|| die("check-json needs a <path>"));
+            check_json(path);
+            return;
+        }
+        "check-trace" => {
+            let path = args
+                .get(1)
+                .unwrap_or_else(|| die("check-trace needs a <path>"));
+            check_trace(path);
+            return;
+        }
+        _ => {}
+    }
+
     let mut which: Option<String> = None;
     let mut scale = ExperimentScale::Small;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = args
-                    .get(i)
-                    .and_then(|s| ExperimentScale::parse(s))
-                    .unwrap_or_else(|| usage());
+                let value = args.get(i).unwrap_or_else(|| die("--scale needs a value"));
+                scale = ExperimentScale::parse(value).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown scale '{value}' (valid: {})",
+                        ExperimentScale::NAMES.join(", ")
+                    ))
+                });
             }
             "--json" => {
                 i += 1;
-                json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+                json_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--json needs a <path>")),
+                );
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace needs a <path>")),
+                );
+            }
+            flag if flag.starts_with("--") => die(&format!("unrecognized flag '{flag}'")),
             other if which.is_none() => which = Some(other.to_string()),
-            _ => usage(),
+            extra => die(&format!("unexpected argument '{extra}'")),
         }
         i += 1;
     }
-    let which = which.unwrap_or_else(|| usage());
+    let which = which.unwrap_or_else(|| die("missing experiment name"));
 
     let t0 = std::time::Instant::now();
-    let tables = if which == "all" {
-        experiments::all_experiments(scale)
+    let mut tables = Vec::new();
+    let mut report = None;
+    if which == "all" {
+        tables = experiments::all_experiments(scale);
+    }
+    if which == "all" || which == "treebuild" || which == "tb" {
+        let r = experiments::treebuild(scale);
+        tables.push(r.table.clone());
+        report = Some(r);
     } else {
         match experiments::by_name(&which, scale) {
-            Some(t) => vec![t],
-            None => usage(),
+            Some(t) => tables.push(t),
+            None => die(&format!(
+                "unknown experiment '{which}' (valid: all, {})",
+                experiments::EXPERIMENT_NAMES.join(", ")
+            )),
         }
-    };
+    }
     for t in &tables {
         println!("{t}");
     }
@@ -70,6 +140,18 @@ fn main() {
         tables.len(),
         t0.elapsed().as_secs_f64()
     );
+
+    if let Some(r) = &report {
+        let bench_path = format!("BENCH_{}.json", scale.name());
+        std::fs::write(&bench_path, &r.bench_json).expect("write bench json");
+        eprintln!("[wrote {bench_path}]");
+        if let Some(path) = &trace_path {
+            std::fs::write(path, &r.trace_json).expect("write trace json");
+            eprintln!("[wrote {path} — open in https://ui.perfetto.dev]");
+        }
+    } else if trace_path.is_some() {
+        die("--trace is only produced by the 'treebuild' experiment (or 'all')");
+    }
 
     if let Some(path) = json_path {
         let objects: Vec<String> = tables
@@ -80,4 +162,99 @@ fn main() {
         writeln!(f, "[\n{}\n]", objects.join(",\n")).expect("write json");
         eprintln!("[wrote {path}]");
     }
+}
+
+fn load(path: &str) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    Json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+/// Validate an experiment-table or BENCH metrics document: well-formed JSON,
+/// a non-empty array of objects.
+fn check_json(path: &str) {
+    let doc = load(path);
+    let items = doc
+        .as_array()
+        .unwrap_or_else(|| die(&format!("{path}: top level is not an array")));
+    if items.is_empty() {
+        die(&format!("{path}: empty document"));
+    }
+    for (i, item) in items.iter().enumerate() {
+        // Table dumps carry "id"; BENCH metric records carry "experiment".
+        if item.get("experiment").is_none() && item.get("id").is_none() {
+            die(&format!(
+                "{path}: record {i} has neither an \"experiment\" nor an \"id\" field"
+            ));
+        }
+    }
+    println!("{path}: OK ({} record(s))", items.len());
+}
+
+/// Validate a Chrome trace-event document: well-formed JSON, nonzero
+/// complete-event spans, every declared process has one thread track per
+/// processor (the `num_procs` metadata arg), and all four phases appear.
+fn check_trace(path: &str) {
+    let doc = load(path);
+    let events = doc
+        .as_array()
+        .unwrap_or_else(|| die(&format!("{path}: top level is not an array")));
+
+    let mut declared_procs: HashMap<i64, f64> = HashMap::new();
+    let mut tids_by_pid: HashMap<i64, HashSet<i64>> = HashMap::new();
+    let mut span_count = 0usize;
+    let mut phases_seen: HashSet<String> = HashSet::new();
+    for e in events {
+        let pid = e.get("pid").and_then(Json::as_f64).map(|p| p as i64);
+        match e.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                let pid = pid.unwrap_or_else(|| die(&format!("{path}: metadata without pid")));
+                if e.get("name").and_then(Json::as_str) == Some("process_name") {
+                    let n = e
+                        .get("args")
+                        .and_then(|a| a.get("num_procs"))
+                        .and_then(Json::as_f64)
+                        .unwrap_or_else(|| die(&format!("{path}: process {pid} lacks num_procs")));
+                    declared_procs.insert(pid, n);
+                }
+                if e.get("name").and_then(Json::as_str) == Some("thread_name") {
+                    let tid = e.get("tid").and_then(Json::as_f64).map(|t| t as i64);
+                    tids_by_pid.entry(pid).or_default().extend(tid);
+                }
+            }
+            Some("X") => {
+                span_count += 1;
+                if let Some(name) = e.get("name").and_then(Json::as_str) {
+                    if !name.starts_with("lock ") {
+                        phases_seen.insert(name.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if span_count == 0 {
+        die(&format!("{path}: no complete-event spans"));
+    }
+    if declared_procs.is_empty() {
+        die(&format!("{path}: no process_name metadata"));
+    }
+    for (pid, n) in &declared_procs {
+        let tracks = tids_by_pid.get(pid).map_or(0, HashSet::len);
+        if tracks != *n as usize {
+            die(&format!(
+                "{path}: process {pid} declares {n} processors but has {tracks} thread track(s)"
+            ));
+        }
+    }
+    for phase in ["tree", "partition", "force", "update"] {
+        if !phases_seen.contains(phase) {
+            die(&format!("{path}: no '{phase}' phase spans"));
+        }
+    }
+    println!(
+        "{path}: OK ({span_count} span(s), {} process track(s))",
+        declared_procs.len()
+    );
 }

@@ -6,6 +6,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod experiments;
+pub mod json;
 pub mod runner;
 pub mod tables;
 

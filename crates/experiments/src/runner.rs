@@ -19,6 +19,18 @@ pub enum ExperimentScale {
 }
 
 impl ExperimentScale {
+    /// The accepted `--scale` spellings, for CLI diagnostics.
+    pub const NAMES: [&'static str; 3] = ["tiny", "small", "full"];
+
+    /// Lower-case name of this scale (inverse of [`ExperimentScale::parse`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentScale::Tiny => "tiny",
+            ExperimentScale::Small => "small",
+            ExperimentScale::Full => "full",
+        }
+    }
+
     pub fn parse(s: &str) -> Option<ExperimentScale> {
         match s.to_ascii_lowercase().as_str() {
             "tiny" => Some(ExperimentScale::Tiny),
@@ -165,6 +177,9 @@ mod tests {
         assert_eq!(ExperimentScale::Full.procs(30), 30);
         assert_eq!(ExperimentScale::parse("FULL"), Some(ExperimentScale::Full));
         assert!(ExperimentScale::parse("huge").is_none());
+        for name in ExperimentScale::NAMES {
+            assert_eq!(ExperimentScale::parse(name).map(|s| s.name()), Some(name));
+        }
     }
 
     #[test]

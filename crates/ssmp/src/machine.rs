@@ -28,7 +28,7 @@
 use crate::cache::GrainMap;
 use crate::cache::{Held, PageEntry, PageTable, PrivateCache};
 use crate::config::CostModel;
-use bh_core::env::{CtxStats, Env, Placement, VAddr};
+use bh_core::env::{CtxStats, Env, Phase, Placement, VAddr};
 use bh_core::sync::{Mutex, RawLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -612,6 +612,16 @@ impl Env for Machine {
         }
     }
 
+    fn phase_begin(&self, _ctx: &mut SimCtx, _phase: Phase, _step: u32) {
+        // Phase boundaries are free in every cost model: the real protocol
+        // work (invalidation drains, epoch opens) rides on the barriers the
+        // application already executes at those boundaries. The hook exists
+        // so a `TraceEnv` wrapped around the machine sees spans measured in
+        // simulated cycles.
+    }
+
+    fn phase_end(&self, _ctx: &mut SimCtx, _phase: Phase, _step: u32) {}
+
     fn now(&self, ctx: &SimCtx) -> u64 {
         ctx.clock
     }
@@ -962,6 +972,39 @@ mod tests {
             second_write < m.cost_model().t_twin,
             "second write must not re-twin"
         );
+    }
+
+    #[test]
+    fn trace_env_spans_are_in_simulated_cycles() {
+        // A TraceEnv wrapped around a Machine must measure spans on the
+        // virtual clock: a span containing exactly `compute(1000)` is
+        // exactly 1000 cycles wide, independent of wall time.
+        let traced = bh_core::trace::TraceEnv::new(origin(2));
+        bh_core::harness::spmd(&traced, |_proc, ctx| {
+            traced.phase_begin(ctx, Phase::Tree, 0);
+            traced.compute(ctx, 1000);
+            traced.phase_end(ctx, Phase::Tree, 0);
+        });
+        let spans = traced.spans();
+        assert_eq!(spans.len(), 2);
+        for s in &spans {
+            assert_eq!(s.end - s.start, 1000);
+            assert_eq!(s.stats.time, 1000);
+        }
+    }
+
+    #[test]
+    fn trace_env_lock_wait_matches_machine_accounting() {
+        // The traced per-acquire wait must equal the machine's own
+        // lock_wait delta (HLRC charges acquisition + notice costs).
+        let traced = bh_core::trace::TraceEnv::new(hlrc(2));
+        let mut ctx = traced.make_ctx(0);
+        traced.lock(&mut ctx, 70);
+        traced.unlock(&mut ctx, 70);
+        let hist = traced.lock_histogram();
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[0].acquires, 1);
+        assert_eq!(hist[0].wait_total, traced.stats(&ctx).lock_wait);
     }
 
     #[test]

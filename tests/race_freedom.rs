@@ -125,6 +125,34 @@ fn cache_line_mode_flags_false_sharing() {
 }
 
 #[test]
+fn tracing_composes_with_detector() {
+    // TraceEnv and CheckedEnv stack: tracing must not perturb the
+    // happens-before certification, and the trace must still see all four
+    // phases plus ORIG's lock traffic through the detector layer.
+    let env = TraceEnv::new(CheckedEnv::new(NativeEnv::new(4)));
+    let bodies = Model::Plummer.generate(96, 1998);
+    let mut cfg = SimConfig::new(Algorithm::Orig);
+    cfg.k = 4;
+    cfg.warmup_steps = 1;
+    cfg.measured_steps = 1;
+    let stats = run_simulation(&env, &cfg, &bodies);
+    stats.assert_valid();
+    env.inner().assert_race_free();
+    let spans = env.spans();
+    for phase in Phase::ALL {
+        assert!(
+            spans.iter().any(|s| s.phase == phase),
+            "no {} span recorded through the detector",
+            phase.name()
+        );
+    }
+    assert!(
+        !env.lock_histogram().is_empty(),
+        "ORIG lock traffic must survive the CheckedEnv layer"
+    );
+}
+
+#[test]
 fn detector_composes_with_simulated_machine() {
     // CheckedEnv wraps any Env, including the ssmp cost-model machine:
     // certify one algorithm end-to-end on a simulated platform.
