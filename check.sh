@@ -22,6 +22,9 @@ cargo build --offline --release
 echo "== full test suite =="
 cargo test --offline -q --workspace
 
+echo "== paper-scale ignored suites =="
+cargo test --offline -q --test platform_behavior --test race_freedom -- --ignored
+
 echo "== repro smoke run + emitted-JSON schema checks =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -31,5 +34,10 @@ REPRO="$PWD/target/release/repro"
 "$REPRO" check-json "$SMOKE_DIR/results.json"
 "$REPRO" check-json "$SMOKE_DIR/BENCH_tiny.json"
 "$REPRO" check-trace "$SMOKE_DIR/trace.json"
+
+echo "== bench regression gate (fresh treebuild vs committed BENCH_small.json) =="
+"$REPRO" check-json BENCH_small.json
+(cd "$SMOKE_DIR" && "$REPRO" treebuild --scale small >/dev/null)
+"$REPRO" bench-diff BENCH_small.json "$SMOKE_DIR/BENCH_small.json" --max-regress 0.25
 
 echo "All checks passed."

@@ -77,6 +77,7 @@ impl std::fmt::Display for Algorithm {
 pub struct Builder {
     pub alg: Algorithm,
     pub space_threshold: usize,
+    pub space_rebalance: f64,
     update_scratch: Option<update::UpdateScratch>,
 }
 
@@ -88,6 +89,7 @@ impl Builder {
         Builder {
             alg,
             space_threshold: space::default_threshold(n, p, k),
+            space_rebalance: space::DEFAULT_REBALANCE,
             update_scratch: match alg {
                 Algorithm::Update => Some(update::UpdateScratch::new(env, n)),
                 _ => None,
@@ -98,6 +100,13 @@ impl Builder {
     /// Override the SPACE subdivision threshold (ablation studies).
     pub fn with_space_threshold(mut self, threshold: usize) -> Builder {
         self.space_threshold = threshold.max(1);
+        self
+    }
+
+    /// Override the SPACE cost-rebalance factor (`0.0` disables the extra
+    /// refinement round for costly subspaces).
+    pub fn with_space_rebalance(mut self, rebalance: f64) -> Builder {
+        self.space_rebalance = rebalance.max(0.0);
         self
     }
 
@@ -117,9 +126,16 @@ impl Builder {
         match self.alg {
             Algorithm::Orig | Algorithm::Local => direct::build(env, ctx, tree, world, proc, cube),
             Algorithm::Partree => partree::build(env, ctx, tree, world, proc, cube),
-            Algorithm::Space => {
-                space::build(env, ctx, tree, world, proc, cube, self.space_threshold)
-            }
+            Algorithm::Space => space::build(
+                env,
+                ctx,
+                tree,
+                world,
+                proc,
+                cube,
+                self.space_threshold,
+                self.space_rebalance,
+            ),
             Algorithm::Update => {
                 let scratch = self.update_scratch.as_ref().expect("UPDATE scratch");
                 update::build(env, ctx, tree, world, scratch, proc, step, cube)

@@ -28,7 +28,17 @@ pub fn default_threshold(n: usize, p: usize, k: usize) -> usize {
     (n / (16 * p).max(1)).max(4 * k).max(1)
 }
 
+/// Default cost-rebalance factor (see [`build`]'s `rebalance` parameter).
+pub const DEFAULT_REBALANCE: f64 = 0.25;
+
 /// Tree-build phase of SPACE for one processor.
+///
+/// `rebalance` is the cost-rebalance factor: a would-be-final subspace
+/// whose summed body cost exceeds `rebalance * total_cost / P` (and which
+/// still holds more than `k` bodies, so the reference structure is
+/// preserved) is refined one extra round instead, splitting the hot spot so
+/// the greedy assignment can spread it. `0.0` disables the refinement.
+#[allow(clippy::too_many_arguments)]
 pub fn build<E: Env>(
     env: &E,
     ctx: &mut E::Ctx,
@@ -37,32 +47,51 @@ pub fn build<E: Env>(
     proc: usize,
     cube: Cube,
     threshold: usize,
+    rebalance: f64,
 ) {
     let p = env.num_procs();
     tree.reset_for_rebuild(env, ctx, proc);
     env.barrier(ctx);
     if proc == 0 {
         let root = create_root(env, ctx, tree, cube);
-        world.sp_frontier.store(env, ctx, 0, root.0);
-        world.sp_frontier_len.store(env, ctx, 0, 1);
-        world.sp_nsub.store(env, ctx, 0, 0);
+        world.sp_frontier[0].store(env, ctx, 0, root.0);
     }
     env.barrier(ctx);
 
     // ---- Phase 1: iterative spatial refinement ("the partitioning tree").
     let (s, e) = world.zone(proc);
+    // Body costs are per-step constants; read each once (round 0) and keep
+    // them in processor-private scratch for the later rounds.
+    let mut zone_cost: Vec<u32> = vec![0; e - s];
+    // Frontier geometry, routing, and the subspace count are identical on
+    // every processor and fully determined by the shared reduced totals, so
+    // they live in processor-private memory: cubes derive from the root by
+    // pure octant subdivision, and each processor recomputes the same
+    // routing decisions. Only the frontier cell refs (allocated by whichever
+    // processor materializes each cell) need shared publication.
+    let mut frontier_cubes: Vec<Cube> = vec![cube];
+    let mut frontier_deep: Vec<bool> = vec![false];
+    let mut route: Vec<u32> = Vec::new();
+    let mut nsub = 0u32;
     let mut round = 0u32;
+    // Cost ceiling for the rebalance refinement, set from the round-0
+    // reduction (the root octant costs sum to the total).
+    let mut cost_limit = u64::MAX;
     loop {
-        let flen = world.sp_frontier_len.load(env, ctx, 0) as usize;
-        // Clear this processor's count row for the active frontier.
-        for key in 0..flen * 8 {
-            world.sp_counts[proc].store(env, ctx, key, 0);
-        }
+        let flen = frontier_cubes.len();
+        let keys = flen * 8;
         // Settle previously routed bodies and count the unsettled ones.
-        // Routing state lives in this processor's local scratch, indexed by
-        // zone position.
+        // Counts and costs accumulate in processor-private scratch (an
+        // atomic RMW per body per round is the expensive pattern the paper's
+        // platforms punish hardest); the whole row is published with plain
+        // stores once per round, ordered by the barrier below.
+        let mut cnt = vec![0u32; keys];
+        let mut cst = vec![0u64; keys];
         for i in s..e {
             let b = world.order.load(env, ctx, i) as usize;
+            if round == 0 {
+                zone_cost[i - s] = world.cost.load(env, ctx, b);
+            }
             let key = world.sp_body_slot[proc].load(env, ctx, i - s);
             // Settled markers from a previous *step* are stale: only honor
             // them after round 0 has re-keyed every body.
@@ -72,7 +101,7 @@ pub fn build<E: Env>(
             let slot = if round == 0 {
                 0
             } else {
-                let routed = world.sp_route.load(env, ctx, key as usize);
+                let routed = route[key as usize];
                 debug_assert_ne!(routed, DEAD, "body routed into an empty octant");
                 if routed & SUBSPACE_BIT != 0 {
                     world.sp_body_slot[proc].store(env, ctx, i - s, routed);
@@ -80,40 +109,84 @@ pub fn build<E: Env>(
                 }
                 routed as usize
             };
-            let cell = NodeRef(world.sp_frontier.load(env, ctx, slot));
-            let c = tree.load_cell(env, ctx, cell);
-            let oct = c.cube().octant_of(world.pos.load(env, ctx, b));
-            let key = (slot * 8 + oct) as u32;
-            world.sp_counts[proc].fetch_add(env, ctx, key as usize, 1);
-            world.sp_body_slot[proc].store(env, ctx, i - s, key);
+            let oct = frontier_cubes[slot].octant_of(world.pos.load(env, ctx, b));
+            let key = slot * 8 + oct;
+            cnt[key] += 1;
+            cst[key] += zone_cost[i - s].max(1) as u64;
+            world.sp_body_slot[proc].store(env, ctx, i - s, key as u32);
             env.compute(ctx, 10);
         }
-        env.barrier(ctx);
         if flen == 0 {
             break;
         }
-        // Processor 0 subdivides over-threshold octants and routes the rest.
-        if proc == 0 {
-            subdivide_round(env, ctx, tree, world, flen, threshold, p);
+        // Publish this processor's rows for the reduction.
+        for key in 0..keys {
+            world.sp_counts[proc].store(env, ctx, key, cnt[key]);
+            world.sp_costs[proc].store(env, ctx, key, cst[key]);
         }
+        env.barrier(ctx);
+        // Cooperative reduction: each processor sums all rows for a
+        // contiguous chunk of the key space into the shared totals.
+        for key in keys * proc / p..keys * (proc + 1) / p {
+            let mut total = 0u32;
+            let mut cost = 0u64;
+            for q in 0..p {
+                total += world.sp_counts[q].load(env, ctx, key);
+                cost += world.sp_costs[q].load(env, ctx, key);
+            }
+            world.sp_total_counts.store(env, ctx, key, total);
+            world.sp_total_costs.store(env, ctx, key, cost);
+            env.compute(ctx, 4);
+        }
+        env.barrier(ctx);
+        if round == 0 && rebalance > 0.0 {
+            // The root's octant costs sum to the whole step's cost; every
+            // processor derives the same ceiling from the shared totals.
+            let total_cost: u64 = (0..keys)
+                .map(|key| world.sp_total_costs.load(env, ctx, key))
+                .sum();
+            cost_limit = (rebalance * total_cost as f64 / p as f64).max(1.0) as u64;
+        }
+        let (nc, nd) = subdivide_round(
+            env,
+            ctx,
+            tree,
+            world,
+            proc,
+            (round % 2) as usize,
+            &frontier_cubes,
+            &frontier_deep,
+            threshold,
+            cost_limit,
+            &mut route,
+            &mut nsub,
+        );
+        frontier_cubes = nc;
+        frontier_deep = nd;
         env.barrier(ctx);
         round += 1;
     }
+    if proc == 0 {
+        // Observability only: the phases below use the private count.
+        world.sp_nsub.store(env, ctx, 0, nsub);
+    }
 
-    // ---- Phase 2: subspace assignment (computed identically everywhere).
-    let nsub = world.sp_nsub.load(env, ctx, 0) as usize;
-    let mut subs: Vec<(u32, u32)> = (0..nsub)
-        .map(|id| (world.sp_subspaces.load(env, ctx, id).count, id as u32))
+    // ---- Phase 2: cost-weighted subspace assignment (computed identically
+    // everywhere, from the private subspace count).
+    let nsub = nsub as usize;
+    let mut subs: Vec<(u64, u32)> = (0..nsub)
+        .map(|id| (world.sp_subspaces.load(env, ctx, id).cost, id as u32))
         .collect();
-    // Greedy longest-processing-time: biggest subspaces first, each to the
-    // least-loaded processor; deterministic tie-breaking.
+    // Greedy longest-processing-time on last step's interaction costs (the
+    // same signal costzones balances on): costliest subspaces first, each
+    // to the least-loaded processor; deterministic tie-breaking.
     subs.sort_unstable_by(|a, b| b.cmp(a));
     let mut load = vec![0u64; p];
     let mut owner = vec![0u8; nsub];
     #[allow(clippy::needless_range_loop)]
-    for &(count, id) in &subs {
+    for &(cost, id) in &subs {
         let q = (0..p).min_by_key(|&q| (load[q], q)).unwrap();
-        load[q] += count as u64;
+        load[q] += cost;
         owner[id as usize] = q as u8;
         env.compute(ctx, 8);
     }
@@ -214,72 +287,109 @@ pub fn build<E: Env>(
     }
 }
 
-/// Processor 0's per-round work: read the reduced counts, create upper-tree
-/// cells for over-threshold octants, emit final subspaces for the rest, and
-/// publish the routing table and next frontier.
+/// One subdivision round, executed by every processor. Routing is a pure
+/// function of the reduced totals, so each processor recomputes the full
+/// routing table privately (there is no shared routing state at all); the
+/// shared work — creating upper-tree cells for octants that keep refining
+/// (over the count threshold, or over the cost ceiling for the rebalance
+/// refinement) and publishing final subspaces — is partitioned round-robin
+/// by index, turning the old serial processor-0 bottleneck P-way parallel.
+#[allow(clippy::too_many_arguments)]
 fn subdivide_round<E: Env>(
     env: &E,
     ctx: &mut E::Ctx,
     tree: &SharedTree,
     world: &World,
-    flen: usize,
+    proc: usize,
+    parity: usize,
+    cubes: &[Cube],
+    deep: &[bool],
     threshold: usize,
-    p: usize,
-) {
-    let arena = tree.arena_of(0);
-    let mut new_frontier: Vec<u32> = Vec::new();
+    cost_limit: u64,
+    route: &mut Vec<u32>,
+    nsub: &mut u32,
+) -> (Vec<Cube>, Vec<bool>) {
+    let p = env.num_procs();
+    let arena = tree.arena_of(proc);
+    let flen = cubes.len();
+    route.clear();
+    route.resize(flen * 8, DEAD);
+    let mut new_cubes: Vec<Cube> = Vec::new();
+    let mut new_deep: Vec<bool> = Vec::new();
+    // Refined octants this processor materializes: (key, next-round slot).
+    let mut mine: Vec<(u32, u32)> = Vec::new();
     for slot in 0..flen {
-        let cell = NodeRef(world.sp_frontier.load(env, ctx, slot));
-        let c = tree.load_cell(env, ctx, cell);
         for oct in 0..8 {
             let key = slot * 8 + oct;
-            let mut total = 0u32;
-            for q in 0..p {
-                total += world.sp_counts[q].load(env, ctx, key);
-            }
-            let route = if total == 0 {
+            let total = world.sp_total_counts.load(env, ctx, key);
+            let cost = world.sp_total_costs.load(env, ctx, key);
+            // A cube with more than `k` bodies is a cell in the reference
+            // tree, so refining it only moves the cell's construction into
+            // the upper tree — the final structure is unchanged. The `deep`
+            // flag bounds the cost refinement to one round past where the
+            // count threshold would have stopped.
+            let refine_cost = !deep[slot] && total as usize > tree.k && cost > cost_limit;
+            route[key] = if total == 0 {
                 DEAD
-            } else if total as usize > threshold {
-                let child = new_cell(env, ctx, tree, arena, 0, cell, oct, c.cube().octant(oct));
-                tree.set_child(env, ctx, cell, oct, child);
-                tree.pending_add(env, ctx, cell, 1);
-                let new_slot = new_frontier.len() as u32;
+            } else if total as usize > threshold || refine_cost {
+                let new_slot = new_cubes.len() as u32;
                 assert!(
                     (new_slot as usize) < FRONTIER_CAP,
                     "SPACE frontier overflow; raise the threshold"
                 );
-                new_frontier.push(child.0);
+                if new_slot as usize % p == proc {
+                    mine.push((key as u32, new_slot));
+                }
+                new_cubes.push(cubes[slot].octant(oct));
+                new_deep.push(refine_cost);
                 new_slot
             } else {
-                let id = world.sp_nsub.fetch_add(env, ctx, 0, 1);
+                let id = *nsub;
+                *nsub += 1;
                 assert!(
                     (id as usize) < SUBSPACE_CAP,
                     "SPACE subspace overflow; raise the threshold"
                 );
-                let oc = c.cube().octant(oct);
-                world.sp_subspaces.store(
-                    env,
-                    ctx,
-                    id as usize,
-                    crate::world::Subspace {
-                        parent: cell,
-                        oct: oct as u8,
-                        count: total,
-                        center: oc.center,
-                        half: oc.half,
-                    },
-                );
+                if id as usize % p == proc {
+                    let parent = NodeRef(world.sp_frontier[parity].load(env, ctx, slot));
+                    let oc = cubes[slot].octant(oct);
+                    world.sp_subspaces.store(
+                        env,
+                        ctx,
+                        id as usize,
+                        crate::world::Subspace {
+                            parent,
+                            oct: oct as u8,
+                            count: total,
+                            cost,
+                            center: oc.center,
+                            half: oc.half,
+                        },
+                    );
+                }
                 SUBSPACE_BIT | id
             };
-            world.sp_route.store(env, ctx, key, route);
+            env.compute(ctx, 4);
         }
     }
-    for (i, &f) in new_frontier.iter().enumerate() {
-        world.sp_frontier.store(env, ctx, i, f);
+    for &(key, new_slot) in &mine {
+        let (slot, oct) = (key as usize / 8, key as usize % 8);
+        let parent = NodeRef(world.sp_frontier[parity].load(env, ctx, slot));
+        let child = new_cell(
+            env,
+            ctx,
+            tree,
+            arena,
+            proc,
+            parent,
+            oct,
+            new_cubes[new_slot as usize],
+        );
+        tree.set_child(env, ctx, parent, oct, child);
+        tree.pending_add(env, ctx, parent, 1);
+        world.sp_frontier[1 - parity].store(env, ctx, new_slot as usize, child.0);
     }
-    world
-        .sp_frontier_len
-        .store(env, ctx, 0, new_frontier.len() as u32);
+    (new_cubes, new_deep)
 }
 
 #[cfg(test)]
@@ -298,10 +408,17 @@ mod tests {
         k: usize,
         model: Model,
         threshold: usize,
+        rebalance: f64,
+        costs: Option<Box<dyn Fn(usize) -> u32 + Sync>>,
     ) -> (NativeEnv, SharedTree, World, Vec<crate::body::Body>, u64) {
         let env = NativeEnv::new(p);
         let bodies = model.generate(n, 55);
         let world = World::new(&env, &bodies);
+        if let Some(f) = &costs {
+            for i in 0..n {
+                world.cost.poke(i, f(i));
+            }
+        }
         let tree = SharedTree::new(&env, n, k, TreeLayout::PerProcessor);
         let mut locks = 0;
         std::thread::scope(|s| {
@@ -311,7 +428,7 @@ mod tests {
                     s.spawn(move || {
                         let mut ctx = env.make_ctx(proc);
                         let cube = bounds_phase(env, &mut ctx, world, proc);
-                        build(env, &mut ctx, tree, world, proc, cube, threshold);
+                        build(env, &mut ctx, tree, world, proc, cube, threshold, rebalance);
                         env.barrier(&mut ctx);
                         com_pass(env, &mut ctx, tree, world, proc, 0);
                         env.barrier(&mut ctx);
@@ -326,8 +443,16 @@ mod tests {
         (env, tree, world, bodies, locks)
     }
 
-    fn check(n: usize, p: usize, k: usize, model: Model, threshold: usize) -> u64 {
-        let (_env, tree, world, bodies, locks) = run(n, p, k, model, threshold);
+    fn check_with(
+        n: usize,
+        p: usize,
+        k: usize,
+        model: Model,
+        threshold: usize,
+        rebalance: f64,
+        costs: Option<Box<dyn Fn(usize) -> u32 + Sync>>,
+    ) -> u64 {
+        let (_env, tree, world, bodies, locks) = run(n, p, k, model, threshold, rebalance, costs);
         validate::validate(&tree, &world.positions(), &world.masses(), true).unwrap_or_else(|e| {
             panic!("invalid SPACE tree (n={n} p={p} k={k} t={threshold}): {e}")
         });
@@ -336,6 +461,10 @@ mod tests {
             panic!("SPACE structure mismatch (n={n} p={p} k={k} t={threshold}): {e}")
         });
         locks
+    }
+
+    fn check(n: usize, p: usize, k: usize, model: Model, threshold: usize) -> u64 {
+        check_with(n, p, k, model, threshold, DEFAULT_REBALANCE, None)
     }
 
     #[test]
@@ -383,6 +512,65 @@ mod tests {
         // (the whole point of the algorithm on SVM platforms).
         let locks = check(2000, 4, 8, Model::Plummer, default_threshold(2000, 4, 8));
         assert_eq!(locks, 0, "SPACE must not lock; saw {locks} acquisitions");
+    }
+
+    #[test]
+    fn rebalance_disabled_matches_reference() {
+        check_with(
+            2000,
+            4,
+            8,
+            Model::Plummer,
+            default_threshold(2000, 4, 8),
+            0.0,
+            None,
+        );
+    }
+
+    #[test]
+    fn aggressive_rebalance_preserves_structure() {
+        // Heavily skewed costs plus a tiny cost ceiling force the extra
+        // refinement round on many subspaces; the final tree must still be
+        // the reference structure (refinement only fires on cubes holding
+        // more than k bodies, which are cells in the reference tree anyway).
+        for rb in [0.01, 0.1, 1.0] {
+            check_with(
+                2000,
+                4,
+                8,
+                Model::TwoClusterCollision,
+                default_threshold(2000, 4, 8),
+                rb,
+                Some(Box::new(|i| if i < 200 { 1000 } else { 1 })),
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_splits_hot_subspaces() {
+        // With skewed costs and a tight ceiling, the costliest subspace
+        // after refinement must be smaller than the ceiling-free costliest.
+        let n = 2000;
+        let p = 4;
+        let t = default_threshold(n, p, 8);
+        let costs = || -> Option<Box<dyn Fn(usize) -> u32 + Sync>> {
+            Some(Box::new(|i| if i < 200 { 1000 } else { 1 }))
+        };
+        let max_cost = |world: &World| -> u64 {
+            let nsub = world.sp_nsub.peek(0) as usize;
+            (0..nsub)
+                .map(|id| world.sp_subspaces.peek(id).cost)
+                .max()
+                .unwrap()
+        };
+        let (_e0, _t0, w0, _b0, _l0) = run(n, p, 8, Model::Plummer, t, 0.0, costs());
+        let (_e1, _t1, w1, _b1, _l1) = run(n, p, 8, Model::Plummer, t, 0.05, costs());
+        assert!(
+            max_cost(&w1) < max_cost(&w0),
+            "rebalance did not split the hot subspace: {} vs {}",
+            max_cost(&w1),
+            max_cost(&w0)
+        );
     }
 
     #[test]

@@ -7,9 +7,10 @@
 use crate::algorithms::{Algorithm, Builder};
 use crate::body::Body;
 use crate::env::{CtxStats, Env, Phase};
-use crate::force::{force_phase, ForceParams};
+use crate::force::{force_phase, force_phase_recursive, ForceParams};
 use crate::harness::spmd;
-use crate::partition::costzones;
+use crate::partition::{costzones, morton_reorder};
+use crate::tree::flat::FlatTree;
 use crate::tree::types::SharedTree;
 use crate::tree::validate::{validate_with, ValidateOpts};
 use crate::update_phase::update_phase;
@@ -30,6 +31,17 @@ pub struct SimConfig {
     pub measured_steps: usize,
     /// Override for the SPACE subdivision threshold.
     pub space_threshold: Option<usize>,
+    /// SPACE cost-rebalance factor: a would-be-final subspace whose cost
+    /// exceeds `factor * total_cost / P` is refined one extra round.
+    /// `0.0` disables cost-triggered refinement.
+    pub space_rebalance: f64,
+    /// Run the force phase over the flat tree snapshot (the fast path).
+    /// `false` keeps the recursive walk over the shared tree — the
+    /// pre-snapshot behavior, for ablations and equivalence tests.
+    pub flat_force: bool,
+    /// Morton-reorder each zone's bodies every this many steps (including
+    /// step 0); `0` disables the pass.
+    pub morton_every: usize,
     /// Validate the final tree against all invariants after the run.
     pub validate: bool,
 }
@@ -44,6 +56,9 @@ impl SimConfig {
             warmup_steps: 2,
             measured_steps: 2,
             space_threshold: None,
+            space_rebalance: 0.25,
+            flat_force: true,
+            morton_every: 4,
             validate: true,
         }
     }
@@ -90,6 +105,9 @@ pub struct ProcRecord {
     pub tree_lock_wait: u64,
     /// Time spent waiting at barriers during measured steps (Table 2).
     pub barrier_wait: u64,
+    /// Time this processor spent in the flatten sub-phase of the tree phase
+    /// during measured steps (zero when `flat_force` is off).
+    pub flatten_time: u64,
     pub final_stats: CtxStats,
 }
 
@@ -174,6 +192,41 @@ impl RunStats {
         self.procs_records.iter().map(|r| r.barrier_wait).sum()
     }
 
+    /// Time spent flattening the tree snapshot (max over processors; the
+    /// sub-phase's critical path, already included in the tree phase).
+    pub fn flatten_cycles(&self) -> u64 {
+        self.procs_records
+            .iter()
+            .map(|r| r.flatten_time)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Tree-phase load imbalance: the maximum over processors of measured
+    /// tree-phase *work* (phase time minus barrier wait — the raw phase
+    /// times are taken at barrier boundaries and therefore agree across
+    /// processors) divided by the average. 1.0 is perfectly balanced.
+    pub fn tree_imbalance(&self) -> f64 {
+        let times: Vec<u64> = self
+            .procs_records
+            .iter()
+            .map(|r| {
+                let p = &r.phases[Phase::Tree.index()];
+                p.time.saturating_sub(p.barrier_wait)
+            })
+            .collect();
+        if times.is_empty() {
+            return 1.0;
+        }
+        let max = *times.iter().max().unwrap() as f64;
+        let avg = times.iter().sum::<u64>() as f64 / times.len() as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+
     /// Panic unless the run validated.
     pub fn assert_valid(&self) {
         if let Some(e) = &self.validation_error {
@@ -205,6 +258,10 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
     if let Some(t) = cfg.space_threshold {
         builder = builder.with_space_threshold(t);
     }
+    builder = builder.with_space_rebalance(cfg.space_rebalance);
+    let flat = cfg
+        .flat_force
+        .then(|| FlatTree::new(env, n, cfg.k, cfg.algorithm.layout()));
     let total_steps = cfg.warmup_steps + cfg.measured_steps;
     // Positions as of the last tree build, captured for validation (the
     // final update phase moves bodies after the tree was summarized).
@@ -221,6 +278,7 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
             tree_page_faults: 0,
             tree_lock_wait: 0,
             barrier_wait: 0,
+            flatten_time: 0,
             final_stats: CtxStats::default(),
         };
         for step in 0..total_steps {
@@ -228,13 +286,28 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
             let s0 = env.stats(ctx);
             let t0 = env.now(ctx);
 
-            // --- tree-build phase (bounds + build + CoM) ---
+            // --- tree-build phase (bounds + build + CoM + flatten) ---
             env.phase_begin(ctx, Phase::Tree, step as u32);
+            if cfg.morton_every > 0 && step % cfg.morton_every == 0 {
+                morton_reorder(env, ctx, &world, proc);
+            }
             let cube = crate::algorithms::common::bounds_phase(env, ctx, &world, proc);
             builder.build(env, ctx, &tree, &world, proc, step as u32, cube);
             env.barrier(ctx);
             builder.com(env, ctx, &tree, &world, proc, step as u32);
             env.barrier(ctx);
+            let mut flatten_t = 0;
+            if let Some(flat) = &flat {
+                // Snapshot the summarized tree. The fill's writes are
+                // separated from the force phase's reads by the partition
+                // phase's closing barrier.
+                let f0 = env.now(ctx);
+                let plan = flat.plan(env, ctx, &tree);
+                flat.publish_counts(env, ctx, &tree, &plan, proc);
+                env.barrier(ctx);
+                flat.fill(env, ctx, &tree, &plan, proc);
+                flatten_t = env.now(ctx) - f0;
+            }
             if cfg.validate && proc == 0 && step + 1 == total_steps {
                 *tree_snapshot.lock() = Some(world.positions());
             }
@@ -252,7 +325,10 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
 
             // --- force phase ---
             env.phase_begin(ctx, Phase::Force, step as u32);
-            force_phase(env, ctx, &tree, &world, &cfg.force, proc);
+            match &flat {
+                Some(flat) => force_phase(env, ctx, flat, &world, &cfg.force, proc),
+                None => force_phase_recursive(env, ctx, &tree, &world, &cfg.force, proc),
+            }
             env.barrier(ctx);
             env.phase_end(ctx, Phase::Force, step as u32);
             let t3 = env.now(ctx);
@@ -294,6 +370,7 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
                 rec.tree_page_faults += s1.page_faults - s0.page_faults;
                 rec.tree_lock_wait += s1.lock_wait - s0.lock_wait;
                 rec.barrier_wait += s4.barrier_wait - s0.barrier_wait;
+                rec.flatten_time += flatten_t;
             }
         }
         rec.final_stats = env.stats(ctx);

@@ -10,6 +10,7 @@
 
 use crate::env::Env;
 use crate::math::Vec3;
+use crate::tree::flat::FlatTree;
 use crate::tree::seq::{SeqNode, SeqTree};
 use crate::tree::types::{NodeRef, SharedTree};
 use crate::world::World;
@@ -40,19 +41,90 @@ const INTERACT_CYCLES: u64 = 45;
 /// Cycle cost charged per visited (opened) cell.
 const VISIT_CYCLES: u64 = 10;
 
+/// Pairwise softened-gravity acceleration with a precomputed ε² — the form
+/// the hot loop uses (ε² and θ² are hoisted out of the walk; the arithmetic
+/// is identical to computing `eps * eps` in place, so results stay bitwise
+/// equal to the historical formula).
+#[inline]
+pub fn pair_accel_eps2(pos: Vec3, src: Vec3, m: f64, gravity: f64, eps2: f64) -> Vec3 {
+    let d = src - pos;
+    let r2 = d.norm_sq() + eps2;
+    let r = r2.sqrt();
+    d * (gravity * m / (r2 * r))
+}
+
 /// Pairwise softened-gravity acceleration on a body at `pos` from mass `m`
 /// at `src`.
 #[inline]
 pub fn pair_accel(pos: Vec3, src: Vec3, m: f64, params: &ForceParams) -> Vec3 {
-    let d = src - pos;
-    let r2 = d.norm_sq() + params.eps * params.eps;
-    let r = r2.sqrt();
-    d * (params.gravity * m / (r2 * r))
+    pair_accel_eps2(pos, src, m, params.gravity, params.eps * params.eps)
 }
 
-/// Force phase for one processor: computes accelerations and per-body costs
-/// for every body in its zone. Caller barriers afterwards.
+/// Force phase for one processor over the flat snapshot: an iterative,
+/// explicit-stack walk with ε² and θ² hoisted out of the loop. Visits
+/// children in octant order (pushed in reverse), i.e. the exact pre-order
+/// DFS of [`force_phase_recursive`], so accelerations are bitwise
+/// identical. Caller barriers afterwards.
 pub fn force_phase<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    flat: &FlatTree,
+    world: &World,
+    params: &ForceParams,
+    proc: usize,
+) {
+    let theta2 = params.theta * params.theta;
+    let eps2 = params.eps * params.eps;
+    let (s, e) = world.zone(proc);
+    let mut stack: Vec<u32> = Vec::with_capacity(64);
+    for i in s..e {
+        let b = world.order.load(env, ctx, i);
+        let pos = world.pos.load(env, ctx, b as usize);
+        let mut acc = Vec3::ZERO;
+        let mut interactions = 0u32;
+        stack.clear();
+        stack.push(0); // the root is always flat index 0
+        while let Some(idx) = stack.pop() {
+            let node = flat.nodes.load(env, ctx, idx as usize);
+            if node.is_leaf() {
+                let first = node.first as usize;
+                for j in first..first + node.count() as usize {
+                    let ob = flat.bodies.load(env, ctx, j);
+                    if ob == b {
+                        continue;
+                    }
+                    let opos = world.pos.load(env, ctx, ob as usize);
+                    let om = world.mass.load(env, ctx, ob as usize);
+                    acc += pair_accel_eps2(pos, opos, om, params.gravity, eps2);
+                    interactions += 1;
+                    env.compute(ctx, INTERACT_CYCLES);
+                }
+                continue;
+            }
+            env.compute(ctx, VISIT_CYCLES);
+            let d2 = pos.dist_sq(node.com);
+            let side = 2.0 * node.half;
+            if side * side < theta2 * d2 {
+                acc += pair_accel_eps2(pos, node.com, node.mass, params.gravity, eps2);
+                interactions += 1;
+                env.compute(ctx, INTERACT_CYCLES);
+                continue;
+            }
+            let first = node.first as usize;
+            for j in (first..first + node.count() as usize).rev() {
+                stack.push(flat.kids.load(env, ctx, j));
+            }
+        }
+        world.acc.store(env, ctx, b as usize, acc);
+        world.cost.store(env, ctx, b as usize, interactions.max(1));
+    }
+}
+
+/// Force phase for one processor walking the shared tree recursively — the
+/// pre-snapshot traversal, kept as the reference for the flat walk's
+/// bitwise-equivalence test (and for `flat_force = false` ablations).
+/// Caller barriers afterwards.
+pub fn force_phase_recursive<E: Env>(
     env: &E,
     ctx: &mut E::Ctx,
     tree: &SharedTree,

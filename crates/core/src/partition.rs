@@ -10,8 +10,47 @@
 //! every processor deterministically walks the same tree.
 
 use crate::env::Env;
+use crate::math::{morton, Aabb, Cube};
 use crate::tree::types::{NodeRef, SharedTree};
 use crate::world::World;
+
+/// Periodic Morton (Z-order) reordering of a processor's zone.
+///
+/// Between costzones passes bodies drift, so a zone's `world.order` slice
+/// slowly loses the spatial coherence the tree-build phase relies on:
+/// consecutive bodies inserted into the tree (or routed by SPACE) stop
+/// touching nearby nodes. Re-sorting the slice by Morton key restores that
+/// locality. Each processor sorts only its own slice against a cube
+/// enclosing the slice's bodies — zone membership is unchanged, nothing
+/// crosses processors, and no barrier is needed (the phase's existing
+/// barriers order the writes). Ties break on body id, so the pass is fully
+/// deterministic.
+pub fn morton_reorder<E: Env>(env: &E, ctx: &mut E::Ctx, world: &World, proc: usize) {
+    let (s, e) = world.zone(proc);
+    if e - s < 2 {
+        return;
+    }
+    let mut bbox = Aabb::EMPTY;
+    let mut pts: Vec<(u32, crate::math::Vec3)> = Vec::with_capacity(e - s);
+    for i in s..e {
+        let b = world.order.load(env, ctx, i);
+        let p = world.pos.load(env, ctx, b as usize);
+        bbox.grow(p);
+        pts.push((b, p));
+    }
+    let cube = Cube::enclosing(&bbox);
+    let mut items: Vec<(u64, u32)> = pts
+        .iter()
+        .map(|&(b, p)| (morton::key_in_cube(p, &cube), b))
+        .collect();
+    items.sort_unstable();
+    for (off, &(_, b)) in items.iter().enumerate() {
+        world.order.store(env, ctx, s + off, b);
+    }
+    // Key generation plus comparison sort: ~O(z log z) simulated work.
+    let z = (e - s) as u64;
+    env.compute(ctx, z * (24 + 4 * (64 - z.leading_zeros() as u64)));
+}
 
 /// Walk state for one processor's costzones pass.
 struct Zoner<'w> {

@@ -1,0 +1,472 @@
+//! Flat traversal snapshot of the shared octree.
+//!
+//! After the summarization barrier the tree is immutable until the next
+//! rebuild, so the force phase does not need the pointer-chasing
+//! `SharedTree` representation at all. The processors cooperatively copy
+//! the live tree into a compact structure-of-arrays snapshot — one 48-byte
+//! record per node (center of mass, mass, half side, CSR child range) in
+//! depth-first order, with husk cells and empty leaves pruned — and the
+//! force walk becomes an iterative, explicit-stack scan over plain arrays.
+//!
+//! The snapshot is still stored in [`SharedVec`]s so every access is
+//! reported to the environment: under `NativeEnv` the accounting inlines to
+//! nothing and the walk runs at memory speed, while under `ssmp` the
+//! flatten pass is charged as a real one-time cost and the walk's smaller
+//! records (48 bytes vs a ~100-byte cell plus a 32-byte child vector)
+//! show up as genuinely cheaper traffic.
+//!
+//! # Cooperative flatten protocol
+//!
+//! Flattening is deterministic and atomics-free:
+//!
+//! 1. **Plan** (every processor, identical result): walk the top of the
+//!    tree, expanding cells with more than `n/(8P)` bodies into a *spine*
+//!    and collecting the subtrees hanging off it as *frontier entries*;
+//!    assign entries to processors greedy-LPT by body count.
+//! 2. **Publish** (owners): each processor walks its claimed subtrees once,
+//!    counting nodes / child slots / bodies, and publishes the three counts
+//!    per entry.
+//! 3. Barrier (the caller's), then **fill**: every processor prefix-sums
+//!    the published counts into disjoint segment bases (spine first, so
+//!    the root is always flat index 0), then emits its claimed subtrees
+//!    into its segments; processor 0 emits the spine, pointing at the
+//!    segment bases. The caller's next barrier (end of the partition
+//!    phase) separates these writes from the force phase's reads.
+//!
+//! Child order within a node is octant order, exactly the order the
+//! recursive walk visits children in, so the flat walk performs the same
+//! floating-point operations in the same order and produces bitwise
+//! identical accelerations (enforced by `tests/flat_force.rs`).
+
+use crate::env::{Env, Placement};
+use crate::math::Vec3;
+use crate::shared::SharedVec;
+use crate::tree::types::{Cell, Leaf, NodeRef, SharedTree, TreeCapacity};
+
+/// Hard cap on plan size (spine cells + frontier entries). Expansion stops
+/// at the cap; correctness is unaffected, balance degrades gracefully.
+const PLAN_CAP: usize = 4096;
+
+/// Tag bit marking a leaf record; the low bits hold the child/body count.
+pub const LEAF_TAG: u32 = 1 << 31;
+
+/// One snapshot node: summary quantities plus a CSR range — `first` indexes
+/// [`FlatTree::kids`] for cells and [`FlatTree::bodies`] for leaves.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatNode {
+    pub com: Vec3,
+    pub mass: f64,
+    /// Half side length of the node's cube (the opening test needs `2*half`).
+    pub half: f64,
+    pub first: u32,
+    /// `LEAF_TAG | body count` for leaves, child count for cells.
+    pub tag: u32,
+}
+
+impl FlatNode {
+    fn zero() -> FlatNode {
+        FlatNode {
+            com: Vec3::ZERO,
+            mass: 0.0,
+            half: 0.0,
+            first: 0,
+            tag: 0,
+        }
+    }
+
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.tag & LEAF_TAG != 0
+    }
+
+    /// Child count (cells) or body count (leaves).
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.tag & !LEAF_TAG
+    }
+}
+
+/// A child of a spine cell in the flatten plan.
+#[derive(Debug, Clone, Copy)]
+enum SpineKid {
+    /// Another spine cell, by pre-order index (== its flat node index).
+    Spine(u32),
+    /// A frontier subtree, by entry index.
+    Sub(u32),
+}
+
+struct SpineCell {
+    node: NodeRef,
+    kids: Vec<SpineKid>,
+}
+
+/// The deterministic flatten plan. Every processor computes an identical
+/// plan from the (immutable) summarized tree; `owner` assigns frontier
+/// entries greedy-LPT by body count.
+pub struct FlatPlan {
+    /// Frontier subtree roots in discovery (pre-order) order.
+    subs: Vec<NodeRef>,
+    /// Upper-tree cells in pre-order; `spine[0]` is the root (empty when
+    /// the root itself is the only frontier entry).
+    spine: Vec<SpineCell>,
+    spine_kids_total: usize,
+    owner: Vec<u8>,
+}
+
+impl FlatPlan {
+    /// Number of frontier subtrees.
+    pub fn entries(&self) -> usize {
+        self.subs.len()
+    }
+}
+
+/// The flat snapshot storage. Allocated once per run and refilled every
+/// step; sized like the tree arenas it mirrors.
+pub struct FlatTree {
+    pub nodes: SharedVec<FlatNode>,
+    pub kids: SharedVec<u32>,
+    pub bodies: SharedVec<u32>,
+    /// Published per-entry counts: `[3i] = nodes, [3i+1] = kid slots,
+    /// [3i+2] = bodies` of frontier entry `i`.
+    sub_counts: SharedVec<u32>,
+}
+
+/// Running output cursors for one processor's segment.
+struct Cursors {
+    node: u32,
+    kid: u32,
+    body: u32,
+}
+
+/// A preloaded node record (loaded once to decide inclusion, then reused
+/// for emission).
+enum Rec {
+    L(Leaf),
+    C(Cell),
+}
+
+impl FlatTree {
+    /// Allocate snapshot storage for up to `n` bodies with leaf threshold
+    /// `k` on `p` processors (untimed setup, like the tree arenas).
+    pub fn new<E: Env>(env: &E, n: usize, k: usize, layout: crate::tree::TreeLayout) -> FlatTree {
+        let p = env.num_procs();
+        let cap = TreeCapacity::plan(n, k, p, layout);
+        let arenas = match layout {
+            crate::tree::TreeLayout::GlobalArena => 1,
+            crate::tree::TreeLayout::PerProcessor => p,
+        };
+        // Every live node appears once; every node except the root is a
+        // child slot exactly once; every body lives in exactly one leaf.
+        let nodes_cap = (cap.cells_per_arena + cap.leaves_per_arena) * arenas;
+        let g = Placement::Global;
+        FlatTree {
+            nodes: SharedVec::new(env, nodes_cap, FlatNode::zero(), g),
+            kids: SharedVec::new(env, nodes_cap, 0, g),
+            bodies: SharedVec::new(env, n.max(1), 0, g),
+            sub_counts: SharedVec::new(env, 3 * PLAN_CAP, 0, g),
+        }
+    }
+
+    /// Phase 1 of the flatten: compute the deterministic plan. Identical on
+    /// every processor (all inputs are post-barrier immutable tree state).
+    pub fn plan<E: Env>(&self, env: &E, ctx: &mut E::Ctx, tree: &SharedTree) -> FlatPlan {
+        let p = env.num_procs();
+        let root = tree.root.load(env, ctx, 0);
+        let rc = tree.load_cell(env, ctx, root);
+        let n = rc.count as usize;
+        // Aim for a handful of subtrees per processor: fine enough for LPT
+        // balance, coarse enough that the spine stays tiny.
+        let limit = (n / (8 * p)).max(tree.k).max(1);
+        let mut plan = FlatPlan {
+            subs: Vec::new(),
+            spine: Vec::new(),
+            spine_kids_total: 0,
+            owner: Vec::new(),
+        };
+        let mut weights: Vec<u32> = Vec::new();
+        if n > limit {
+            expand(env, ctx, tree, limit, &mut plan, &mut weights, root);
+        } else {
+            plan.subs.push(root);
+            weights.push(rc.count);
+        }
+        plan.spine_kids_total = plan.spine.iter().map(|s| s.kids.len()).sum();
+        assert!(
+            plan.subs.len() <= PLAN_CAP,
+            "flatten plan overflow ({} entries)",
+            plan.subs.len()
+        );
+
+        // Greedy LPT by body count, deterministic tie-breaking (same scheme
+        // as the SPACE subspace assignment).
+        let mut by_weight: Vec<(u32, u32)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w, i as u32))
+            .collect();
+        by_weight.sort_unstable_by(|a, b| b.cmp(a));
+        let mut load = vec![0u64; p];
+        plan.owner = vec![0u8; plan.subs.len()];
+        for &(w, i) in &by_weight {
+            let q = (0..p).min_by_key(|&q| (load[q], q)).unwrap();
+            load[q] += w as u64;
+            plan.owner[i as usize] = q as u8;
+            env.compute(ctx, 8);
+        }
+        plan
+    }
+
+    /// Phase 2: each owner counts its claimed subtrees and publishes the
+    /// per-entry totals. The caller barriers afterwards.
+    pub fn publish_counts<E: Env>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        tree: &SharedTree,
+        plan: &FlatPlan,
+        proc: usize,
+    ) {
+        for (i, &node) in plan.subs.iter().enumerate() {
+            if plan.owner[i] as usize != proc {
+                continue;
+            }
+            let rec = load_included(env, ctx, tree, node).expect("frontier entry became a husk");
+            let (nn, nk, nb) = count_subtree(env, ctx, tree, node, &rec);
+            self.sub_counts.store(env, ctx, 3 * i, nn);
+            self.sub_counts.store(env, ctx, 3 * i + 1, nk);
+            self.sub_counts.store(env, ctx, 3 * i + 2, nb);
+        }
+    }
+
+    /// Phase 3: prefix-sum the published counts into disjoint segments and
+    /// emit. The root always lands at flat index 0. Returns the total node
+    /// count. The caller's next barrier separates these writes from the
+    /// force phase's reads.
+    pub fn fill<E: Env>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        tree: &SharedTree,
+        plan: &FlatPlan,
+        proc: usize,
+    ) -> u32 {
+        let ns = plan.subs.len();
+        // Segment bases: spine first (root at index 0), then the frontier
+        // entries in discovery order.
+        let mut bases: Vec<(u32, u32, u32)> = Vec::with_capacity(ns);
+        let mut nn = plan.spine.len() as u32;
+        let mut nk = plan.spine_kids_total as u32;
+        let mut nb = 0u32;
+        for i in 0..ns {
+            bases.push((nn, nk, nb));
+            nn += self.sub_counts.load(env, ctx, 3 * i);
+            nk += self.sub_counts.load(env, ctx, 3 * i + 1);
+            nb += self.sub_counts.load(env, ctx, 3 * i + 2);
+        }
+        assert!(
+            (nn as usize) <= self.nodes.len() && (nk as usize) <= self.kids.len(),
+            "flat snapshot capacity exceeded ({nn} nodes, {nk} kid slots)"
+        );
+
+        for (i, &node) in plan.subs.iter().enumerate() {
+            if plan.owner[i] as usize != proc {
+                continue;
+            }
+            let (bn, bk, bb) = bases[i];
+            let mut cur = Cursors {
+                node: bn,
+                kid: bk,
+                body: bb,
+            };
+            let rec = load_included(env, ctx, tree, node).expect("frontier entry became a husk");
+            let at = self.emit(env, ctx, tree, node, rec, &mut cur);
+            debug_assert_eq!(at, bn);
+        }
+
+        // Processor 0 emits the spine: its cells sit at flat indices
+        // [0, spine.len()) in pre-order, kid slots at [0, spine_kids_total).
+        if proc == 0 {
+            let mut kid_cur = 0u32;
+            for (j, sc) in plan.spine.iter().enumerate() {
+                let c = tree.load_cell(env, ctx, sc.node);
+                let first = kid_cur;
+                for kid in &sc.kids {
+                    let idx = match *kid {
+                        SpineKid::Spine(j2) => j2,
+                        SpineKid::Sub(i) => bases[i as usize].0,
+                    };
+                    self.kids.store(env, ctx, kid_cur as usize, idx);
+                    kid_cur += 1;
+                }
+                self.nodes.store(
+                    env,
+                    ctx,
+                    j,
+                    FlatNode {
+                        com: c.com,
+                        mass: c.mass,
+                        half: c.half,
+                        first,
+                        tag: sc.kids.len() as u32,
+                    },
+                );
+            }
+        }
+        nn
+    }
+
+    /// Emit one subtree in pre-order, children in octant order. Returns the
+    /// node's flat index.
+    fn emit<E: Env>(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        tree: &SharedTree,
+        node: NodeRef,
+        rec: Rec,
+        cur: &mut Cursors,
+    ) -> u32 {
+        let my = cur.node;
+        cur.node += 1;
+        match rec {
+            Rec::L(l) => {
+                let first = cur.body;
+                for &b in l.body_slice() {
+                    self.bodies.store(env, ctx, cur.body as usize, b);
+                    cur.body += 1;
+                }
+                self.nodes.store(
+                    env,
+                    ctx,
+                    my as usize,
+                    FlatNode {
+                        com: l.com,
+                        mass: l.mass,
+                        half: l.half,
+                        first,
+                        tag: LEAF_TAG | l.n,
+                    },
+                );
+            }
+            Rec::C(c) => {
+                let mut included: Vec<(NodeRef, Rec)> = Vec::with_capacity(8);
+                for ch in tree.children(env, ctx, node) {
+                    if ch.is_null() {
+                        continue;
+                    }
+                    if let Some(chrec) = load_included(env, ctx, tree, ch) {
+                        included.push((ch, chrec));
+                    }
+                }
+                let first = cur.kid;
+                cur.kid += included.len() as u32;
+                self.nodes.store(
+                    env,
+                    ctx,
+                    my as usize,
+                    FlatNode {
+                        com: c.com,
+                        mass: c.mass,
+                        half: c.half,
+                        first,
+                        tag: included.len() as u32,
+                    },
+                );
+                for (off, (chref, chrec)) in included.into_iter().enumerate() {
+                    let idx = self.emit(env, ctx, tree, chref, chrec, cur);
+                    self.kids.store(env, ctx, first as usize + off, idx);
+                }
+            }
+        }
+        my
+    }
+}
+
+/// Load a child node iff the force walk would visit it: leaves with bodies,
+/// cells with bodies and mass (husks contribute nothing).
+fn load_included<E: Env>(env: &E, ctx: &mut E::Ctx, tree: &SharedTree, r: NodeRef) -> Option<Rec> {
+    if r.is_leaf() {
+        let l = tree.load_leaf(env, ctx, r);
+        (l.n > 0).then_some(Rec::L(l))
+    } else {
+        let c = tree.load_cell(env, ctx, r);
+        (c.count > 0 && c.mass != 0.0).then_some(Rec::C(c))
+    }
+}
+
+/// Count (nodes, kid slots, bodies) of the live subtree at `node`.
+fn count_subtree<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    node: NodeRef,
+    rec: &Rec,
+) -> (u32, u32, u32) {
+    match rec {
+        Rec::L(l) => (1, 0, l.n),
+        Rec::C(_) => {
+            let (mut nn, mut nk, mut nb) = (1, 0, 0);
+            for ch in tree.children(env, ctx, node) {
+                if ch.is_null() {
+                    continue;
+                }
+                if let Some(chrec) = load_included(env, ctx, tree, ch) {
+                    let (a, b, c) = count_subtree(env, ctx, tree, ch, &chrec);
+                    nn += a;
+                    nk += b + 1;
+                    nb += c;
+                }
+            }
+            (nn, nk, nb)
+        }
+    }
+}
+
+/// Expand the spine: `cell` has more than `limit` bodies; record it as a
+/// spine cell and classify its children. Returns the cell's spine index.
+fn expand<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    tree: &SharedTree,
+    limit: usize,
+    plan: &mut FlatPlan,
+    weights: &mut Vec<u32>,
+    cell: NodeRef,
+) -> u32 {
+    let j = plan.spine.len() as u32;
+    plan.spine.push(SpineCell {
+        node: cell,
+        kids: Vec::new(),
+    });
+    for ch in tree.children(env, ctx, cell) {
+        if ch.is_null() {
+            continue;
+        }
+        let kid = if ch.is_leaf() {
+            let l = tree.load_leaf(env, ctx, ch);
+            if l.n == 0 {
+                continue;
+            }
+            let i = plan.subs.len() as u32;
+            plan.subs.push(ch);
+            weights.push(l.n);
+            SpineKid::Sub(i)
+        } else {
+            let c = tree.load_cell(env, ctx, ch);
+            if c.count == 0 || c.mass == 0.0 {
+                continue;
+            }
+            let room = plan.spine.len() + plan.subs.len() + 16 <= PLAN_CAP;
+            if c.count as usize > limit && room {
+                SpineKid::Spine(expand(env, ctx, tree, limit, plan, weights, ch))
+            } else {
+                let i = plan.subs.len() as u32;
+                plan.subs.push(ch);
+                weights.push(c.count);
+                SpineKid::Sub(i)
+            }
+        };
+        plan.spine[j as usize].kids.push(kid);
+    }
+    j
+}

@@ -4,7 +4,7 @@
 use crate::body::Body;
 use crate::env::{Env, Placement};
 use crate::math::{Aabb, Cube, Vec3};
-use crate::shared::{SharedAtomicVec, SharedVec};
+use crate::shared::{SharedAtomicVec, SharedAtomicVec64, SharedVec};
 use crate::tree::NodeRef;
 
 /// Maximum number of final subspaces the SPACE partitioner may produce.
@@ -24,6 +24,9 @@ pub struct Subspace {
     pub oct: u8,
     /// Number of bodies in the subspace.
     pub count: u32,
+    /// Total force-computation cost (last step's interaction counts) of the
+    /// subspace's bodies. Drives the cost-weighted assignment.
+    pub cost: u64,
     /// Cube of space represented.
     pub center: Vec3,
     pub half: f64,
@@ -39,6 +42,7 @@ impl Subspace {
             parent: NodeRef::NULL,
             oct: 0,
             count: 0,
+            cost: 0,
             center: Vec3::ZERO,
             half: 0.0,
         }
@@ -69,22 +73,32 @@ pub struct World {
     /// Per-processor bounding boxes, reduced to the global root cube.
     pub proc_bbox: SharedVec<Aabb>,
     // ----- SPACE partitioner scratch ---------------------------------------
-    /// Refinement frontier: encoded cell refs.
-    pub sp_frontier: SharedVec<u32>,
-    /// `[0]` = frontier length for the current round.
-    pub sp_frontier_len: SharedAtomicVec,
+    /// Refinement frontier: encoded cell refs, double-buffered by round
+    /// parity (round `r` reads `[r % 2]` and publishes the next frontier
+    /// into `[1 - r % 2]`, so writers never collide with readers). Frontier
+    /// geometry, routing, and lengths are processor-private: they are
+    /// deterministic functions of the reduced totals, recomputed identically
+    /// everywhere; only the cell refs need shared publication.
+    pub sp_frontier: [SharedVec<u32>; 2],
     /// Per-processor body-count rows, one locally-placed array per
-    /// processor, indexed by `slot*8 + oct`. Processor 0 reads all rows once
-    /// per round to reduce; keeping rows local avoids false sharing in the
-    /// counting loop.
+    /// processor, indexed by `slot*8 + oct`. Each row is accumulated
+    /// privately and published with plain stores once per round, then read
+    /// by the cooperative reduction after a barrier.
     pub sp_counts: Vec<SharedAtomicVec>,
-    /// Routing table written by processor 0 after each subdivision round:
-    /// entry `slot*8 + oct` = `u32::MAX` (dead), `SUBSPACE_BIT | id` (final
-    /// subspace), or the next round's frontier slot.
-    pub sp_route: SharedVec<u32>,
-    /// Final subspaces.
+    /// Per-processor cost rows, parallel to `sp_counts`: the summed
+    /// last-step interaction cost of this processor's bodies per octant.
+    pub sp_costs: Vec<SharedAtomicVec64>,
+    /// Reduced per-octant body counts (all processors' rows summed). Each
+    /// processor reduces a contiguous chunk of the key space every round,
+    /// so processor 0's routing pass reads `flen*8` totals instead of
+    /// `flen*8*P` remote rows.
+    pub sp_total_counts: SharedVec<u32>,
+    /// Reduced per-octant costs, parallel to `sp_total_counts`.
+    pub sp_total_costs: SharedVec<u64>,
+    /// Final subspaces, published round-robin by subspace id.
     pub sp_subspaces: SharedVec<Subspace>,
-    /// `[0]` = number of final subspaces.
+    /// `[0]` = number of final subspaces (observability: every processor
+    /// tracks the count privately; processor 0 publishes it once).
     pub sp_nsub: SharedAtomicVec,
     /// Per-processor routing state for the bodies of its zone (indexed by
     /// position within the zone): the pending route key, or
@@ -119,12 +133,18 @@ impl World {
             order: SharedVec::new(env, n, 0, g),
             zone_start: SharedVec::new(env, p + 1, 0, g),
             proc_bbox: SharedVec::new(env, p, Aabb::EMPTY, g),
-            sp_frontier: SharedVec::new(env, FRONTIER_CAP, 0, g),
-            sp_frontier_len: SharedAtomicVec::new(env, 1, 0, g),
+            sp_frontier: [
+                SharedVec::new(env, FRONTIER_CAP, 0, g),
+                SharedVec::new(env, FRONTIER_CAP, 0, g),
+            ],
             sp_counts: (0..p)
                 .map(|q| SharedAtomicVec::new(env, FRONTIER_CAP * 8, 0, Placement::Local(q)))
                 .collect(),
-            sp_route: SharedVec::new(env, FRONTIER_CAP * 8, 0, g),
+            sp_costs: (0..p)
+                .map(|q| SharedAtomicVec64::new(env, FRONTIER_CAP * 8, 0, Placement::Local(q)))
+                .collect(),
+            sp_total_counts: SharedVec::new(env, FRONTIER_CAP * 8, 0, g),
+            sp_total_costs: SharedVec::new(env, FRONTIER_CAP * 8, 0, g),
             sp_subspaces: SharedVec::new(env, SUBSPACE_CAP, Subspace::zero(), g),
             sp_nsub: SharedAtomicVec::new(env, 1, 0, g),
             sp_body_slot: (0..p)

@@ -22,6 +22,12 @@
 //!
 //! `check-json` / `check-trace` validate previously emitted documents; the
 //! pre-merge gate uses them as schema sanity checks.
+//!
+//! `bench-diff <baseline> <fresh>` compares two BENCH documents record by
+//! record (matched on algorithm and scale) and exits non-zero when a native
+//! timing regresses by more than `--max-regress` (default 0.25 = 25%); the
+//! pre-merge gate diffs a freshly generated BENCH_small.json against the
+//! committed one.
 
 use bh_experiments::experiments;
 use bh_experiments::json::Json;
@@ -34,6 +40,7 @@ fn usage_text() -> String {
         "usage: repro <experiment|all> [--scale {}] [--json <path>] [--trace <path>]\n\
          \x20      repro check-json <path>\n\
          \x20      repro check-trace <path>\n\
+         \x20      repro bench-diff <baseline> <fresh> [--max-regress <fraction>]\n\
          experiments: {}",
         ExperimentScale::NAMES.join("|"),
         experiments::EXPERIMENT_NAMES.join(" ")
@@ -67,6 +74,37 @@ fn main() {
                 .get(1)
                 .unwrap_or_else(|| die("check-trace needs a <path>"));
             check_trace(path);
+            return;
+        }
+        "bench-diff" => {
+            let baseline = args
+                .get(1)
+                .unwrap_or_else(|| die("bench-diff needs <baseline> <fresh>"));
+            let fresh = args
+                .get(2)
+                .unwrap_or_else(|| die("bench-diff needs <baseline> <fresh>"));
+            let mut max_regress = 0.25;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--max-regress" => {
+                        i += 1;
+                        let v = args
+                            .get(i)
+                            .unwrap_or_else(|| die("--max-regress needs a value"));
+                        max_regress =
+                            v.parse::<f64>()
+                                .ok()
+                                .filter(|x| *x >= 0.0)
+                                .unwrap_or_else(|| {
+                                    die(&format!("invalid --max-regress '{v}' (fraction >= 0)"))
+                                });
+                    }
+                    extra => die(&format!("unexpected argument '{extra}'")),
+                }
+                i += 1;
+            }
+            bench_diff(baseline, fresh, max_regress);
             return;
         }
         _ => {}
@@ -170,8 +208,27 @@ fn load(path: &str) -> Json {
     Json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
 }
 
+/// Numeric fields every treebuild BENCH record must carry.
+const TREEBUILD_FIELDS: [&str; 14] = [
+    "n",
+    "procs",
+    "tree_cycles",
+    "total_cycles",
+    "tree_lock_acquires",
+    "tree_lock_wait_cycles",
+    "barrier_wait_cycles",
+    "remote_misses",
+    "page_faults",
+    "lock_ids",
+    "tree_imbalance",
+    "flatten_cycles",
+    "native_tree_ns",
+    "native_total_ns",
+];
+
 /// Validate an experiment-table or BENCH metrics document: well-formed JSON,
-/// a non-empty array of objects.
+/// a non-empty array of objects; treebuild metric records must carry the
+/// full numeric schema (including the load-imbalance and flatten metrics).
 fn check_json(path: &str) {
     let doc = load(path);
     let items = doc
@@ -187,8 +244,109 @@ fn check_json(path: &str) {
                 "{path}: record {i} has neither an \"experiment\" nor an \"id\" field"
             ));
         }
+        if item.get("experiment").and_then(Json::as_str) == Some("treebuild") {
+            if item.get("algorithm").and_then(Json::as_str).is_none() {
+                die(&format!("{path}: treebuild record {i} lacks \"algorithm\""));
+            }
+            for field in TREEBUILD_FIELDS {
+                if item.get(field).and_then(Json::as_f64).is_none() {
+                    die(&format!(
+                        "{path}: treebuild record {i} lacks numeric \"{field}\""
+                    ));
+                }
+            }
+        }
     }
     println!("{path}: OK ({} record(s))", items.len());
+}
+
+/// Key identifying a treebuild record across two BENCH documents.
+fn bench_key(r: &Json) -> Option<(String, String, String)> {
+    Some((
+        r.get("experiment").and_then(Json::as_str)?.to_string(),
+        r.get("scale").and_then(Json::as_str)?.to_string(),
+        r.get("algorithm").and_then(Json::as_str)?.to_string(),
+    ))
+}
+
+/// Compare two BENCH documents and exit 1 when a fresh native timing is more
+/// than `max_regress` (fraction) above the baseline for any algorithm.
+/// Simulated-cycle metrics are deterministic and informational here; the
+/// gate is on the native wall timings, which carry run-to-run noise — hence
+/// a tolerance rather than equality.
+fn bench_diff(baseline_path: &str, fresh_path: &str, max_regress: f64) {
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    let base_items = baseline
+        .as_array()
+        .unwrap_or_else(|| die(&format!("{baseline_path}: top level is not an array")));
+    let fresh_items = fresh
+        .as_array()
+        .unwrap_or_else(|| die(&format!("{fresh_path}: top level is not an array")));
+
+    let mut fresh_by_key: HashMap<(String, String, String), &Json> = HashMap::new();
+    for r in fresh_items {
+        if let Some(k) = bench_key(r) {
+            fresh_by_key.insert(k, r);
+        }
+    }
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for b in base_items {
+        let Some(key) = bench_key(b) else { continue };
+        let Some(f) = fresh_by_key.get(&key) else {
+            eprintln!(
+                "bench-diff: {}/{}/{} present in baseline but missing from {fresh_path}",
+                key.0, key.1, key.2
+            );
+            regressions += 1;
+            continue;
+        };
+        for metric in ["native_tree_ns", "native_total_ns"] {
+            let old = b.get(metric).and_then(Json::as_f64);
+            let new = f.get(metric).and_then(Json::as_f64);
+            let (Some(old), Some(new)) = (old, new) else {
+                continue;
+            };
+            if old <= 0.0 {
+                continue;
+            }
+            let ratio = new / old;
+            let marker = if ratio > 1.0 + max_regress {
+                regressions += 1;
+                "  <-- REGRESSION"
+            } else {
+                ""
+            };
+            println!(
+                "{:8} {:18} {:>14.0} -> {:>14.0}  ({:+6.1}%){}",
+                key.2,
+                metric,
+                old,
+                new,
+                (ratio - 1.0) * 100.0,
+                marker
+            );
+            compared += 1;
+        }
+    }
+    if compared == 0 {
+        die(&format!(
+            "bench-diff: no comparable records between {baseline_path} and {fresh_path}"
+        ));
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench-diff: {regressions} metric(s) regressed by more than {:.0}%",
+            max_regress * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench-diff: OK ({compared} metric(s) within {:.0}% of {baseline_path})",
+        max_regress * 100.0
+    );
 }
 
 /// Validate a Chrome trace-event document: well-formed JSON, nonzero

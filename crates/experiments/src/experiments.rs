@@ -426,6 +426,10 @@ struct TracedRun {
     hot_share: f64,
     total_time: u64,
     tree_time: u64,
+    /// Max/avg per-processor tree-phase work time (barrier wait excluded).
+    tree_imbalance: f64,
+    /// Max per-processor time in the flat-snapshot pass of the tree phase.
+    flatten_cycles: u64,
 }
 
 #[derive(Clone, Copy, Default)]
@@ -470,6 +474,8 @@ fn traced_run<E: Env>(env: &bh_core::trace::TraceEnv<E>, alg: Algorithm, n: usiz
         hot_share,
         total_time: stats.total_time(),
         tree_time: stats.tree_time(),
+        tree_imbalance: stats.tree_imbalance(),
+        flatten_cycles: stats.flatten_cycles(),
     }
 }
 
@@ -531,8 +537,17 @@ fn treebuild_sized(scale: ExperimentScale, n: usize, procs: usize) -> TreebuildR
     let mut bench: Vec<String> = Vec::new();
     for (pid, alg) in ALGS.iter().enumerate() {
         let alg = *alg;
-        let native = bh_core::trace::TraceEnv::new(NativeEnv::new(procs));
-        let nat = traced_run(&native, alg, n);
+        // Native wall times are noisy under host load; keep the fastest of
+        // three runs (minimum estimator) so the regression gate compares
+        // signal rather than scheduler luck.
+        let (native, nat) = (0..3)
+            .map(|_| {
+                let env = bh_core::trace::TraceEnv::new(NativeEnv::new(procs));
+                let run = traced_run(&env, alg, n);
+                (env, run)
+            })
+            .min_by_key(|(_, run)| run.total_time)
+            .expect("three native attempts");
         treebuild_row(&mut table, "native", alg, &nat);
         events.extend(native.chrome_trace_events(
             2 * pid as u32,
@@ -556,6 +571,7 @@ fn treebuild_sized(scale: ExperimentScale, n: usize, procs: usize) -> TreebuildR
              \"tree_lock_acquires\": {}, \"tree_lock_wait_cycles\": {}, \
              \"barrier_wait_cycles\": {}, \"remote_misses\": {}, \"page_faults\": {}, \
              \"lock_ids\": {}, \"lock_acquires_all_steps\": {}, \"lock_wait_all_steps\": {}, \
+             \"tree_imbalance\": {:.4}, \"flatten_cycles\": {}, \
              \"native_tree_ns\": {}, \"native_total_ns\": {}}}",
             scale.name(),
             alg.name(),
@@ -570,6 +586,8 @@ fn treebuild_sized(scale: ExperimentScale, n: usize, procs: usize) -> TreebuildR
             org.hist_locks,
             org.hist_total_acquires,
             org.hist_total_wait,
+            org.tree_imbalance,
+            org.flatten_cycles,
             nat.tree_time,
             nat.total_time,
         ));
@@ -701,6 +719,8 @@ mod tests {
         for r in records {
             assert!(r.get("tree_cycles").and_then(Json::as_f64).unwrap() > 0.0);
             assert!(r.get("native_tree_ns").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(r.get("tree_imbalance").and_then(Json::as_f64).unwrap() >= 1.0);
+            assert!(r.get("flatten_cycles").and_then(Json::as_f64).unwrap() > 0.0);
         }
         // The histogram separates ORIG (hot shared cells) from SPACE
         // (lock-free): compare the per-record lock id counts.

@@ -1,0 +1,84 @@
+//! Equivalence of the force phase over the flat tree snapshot and the
+//! recursive walk over the shared tree.
+//!
+//! The flat walk is an explicit-stack pre-order DFS visiting children in
+//! octant order — the exact traversal of the recursive walk — and the
+//! flatten pass prunes the same husk/empty nodes the recursive walk skips,
+//! so on a deterministic build (one processor) the floating-point operation
+//! sequence is identical and results must match **bitwise**. With several
+//! processors the leaf body order of the lock-based builders depends on
+//! scheduling, which reassociates leaf and center-of-mass summations; there
+//! the runs agree to tight tolerance instead (same documented tolerance the
+//! cross-algorithm suite uses).
+
+use bh_repro::bh_core::prelude::*;
+
+fn run(alg: Algorithm, procs: usize, flat: bool, bodies: &[Body], steps: usize) -> Vec<Body> {
+    let env = NativeEnv::new(procs);
+    let mut cfg = SimConfig::new(alg);
+    cfg.warmup_steps = 0;
+    cfg.measured_steps = steps;
+    cfg.flat_force = flat;
+    let (stats, state) = run_simulation_with_state(&env, &cfg, bodies);
+    stats.assert_valid();
+    state
+}
+
+#[test]
+fn flat_walk_is_bitwise_identical_on_one_processor() {
+    let bodies = Model::Plummer.generate(1200, 42);
+    for alg in Algorithm::ALL {
+        let flat = run(alg, 1, true, &bodies, 3);
+        let rec = run(alg, 1, false, &bodies, 3);
+        for (i, (a, b)) in flat.iter().zip(&rec).enumerate() {
+            for (x, y) in [
+                (a.pos.x, b.pos.x),
+                (a.pos.y, b.pos.y),
+                (a.pos.z, b.pos.z),
+                (a.vel.x, b.vel.x),
+                (a.vel.y, b.vel.y),
+                (a.vel.z, b.vel.z),
+            ] {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{alg}: body {i} differs between flat ({x:?}) and recursive ({y:?}) walks"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flat_walk_matches_recursive_in_parallel() {
+    let bodies = Model::TwoClusterCollision.generate(1500, 7);
+    for alg in Algorithm::ALL {
+        let flat = run(alg, 4, true, &bodies, 2);
+        let rec = run(alg, 4, false, &bodies, 2);
+        let mut worst = 0.0f64;
+        for (a, b) in flat.iter().zip(&rec) {
+            worst = worst.max(a.pos.dist(b.pos));
+        }
+        assert!(worst < 1e-9, "{alg}: flat vs recursive diverged by {worst}");
+    }
+}
+
+#[test]
+fn flat_walk_is_valid_on_simulated_platform() {
+    // The cooperative flatten uses plain loads/stores separated by barriers;
+    // it must produce a correct snapshot under a simulated machine's timing
+    // as well (physics agreement with the native run).
+    use bh_repro::ssmp::{platform, Machine};
+    let bodies = Model::Plummer.generate(800, 23);
+    let native = run(Algorithm::Space, 2, true, &bodies, 2);
+    let machine = Machine::new(platform::origin2000(4), 4);
+    let mut cfg = SimConfig::new(Algorithm::Space);
+    cfg.warmup_steps = 0;
+    cfg.measured_steps = 2;
+    let (stats, simulated) = run_simulation_with_state(&machine, &cfg, &bodies);
+    stats.assert_valid();
+    assert!(stats.flatten_cycles() > 0, "flatten cost must be charged");
+    for (a, b) in native.iter().zip(&simulated) {
+        assert!(a.pos.dist(b.pos) < 1e-9, "simulation changed the physics");
+    }
+}

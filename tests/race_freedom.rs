@@ -12,13 +12,16 @@ use bh_repro::bh_core::prelude::*;
 use bh_repro::bh_core::shared::SharedVec;
 
 /// Run one full simulation under the detector and assert race-freedom.
-fn certify(alg: Algorithm, procs: usize, model: Model, n: usize) {
+/// The default `SimConfig` routes every run through the flat-snapshot force
+/// path (cooperative flatten), the periodic Morton reorder, and — for SPACE
+/// — the cost-weighted assignment, so the matrix certifies those too.
+fn certify_cfg(mut cfg: SimConfig, procs: usize, model: Model, n: usize) {
     let env = CheckedEnv::new(NativeEnv::new(procs));
     let bodies = model.generate(n, 1998);
-    let mut cfg = SimConfig::new(alg);
     cfg.k = 4; // deeper trees at small n: more lock/atomic interleaving
     cfg.warmup_steps = 1;
     cfg.measured_steps = 2;
+    let alg = cfg.algorithm;
     let stats = run_simulation(&env, &cfg, &bodies);
     stats.assert_valid();
     let races = env.races();
@@ -35,6 +38,10 @@ fn certify(alg: Algorithm, procs: usize, model: Model, n: usize) {
     );
 }
 
+fn certify(alg: Algorithm, procs: usize, model: Model, n: usize) {
+    certify_cfg(SimConfig::new(alg), procs, model, n);
+}
+
 const ALL_ALGS: [Algorithm; 5] = [
     Algorithm::Orig,
     Algorithm::Local,
@@ -45,6 +52,16 @@ const ALL_ALGS: [Algorithm; 5] = [
 
 #[test]
 fn all_algorithms_race_free_plummer() {
+    for alg in ALL_ALGS {
+        for procs in [2, 8] {
+            certify(alg, procs, Model::Plummer, 96);
+        }
+    }
+}
+
+#[test]
+#[ignore = "full processor matrix; run with --ignored"]
+fn all_algorithms_race_free_plummer_full() {
     for alg in ALL_ALGS {
         for procs in [1, 2, 4, 8] {
             certify(alg, procs, Model::Plummer, 96);
@@ -57,9 +74,42 @@ fn all_algorithms_race_free_uneven_distribution() {
     // The two-cluster collision model concentrates bodies in two dense
     // clumps: deep unbalanced subtrees, maximal contention on a few cells.
     for alg in ALL_ALGS {
+        certify(alg, 4, Model::TwoClusterCollision, 96);
+    }
+}
+
+#[test]
+#[ignore = "full processor matrix; run with --ignored"]
+fn all_algorithms_race_free_uneven_distribution_full() {
+    for alg in ALL_ALGS {
         for procs in [2, 4, 8] {
             certify(alg, procs, Model::TwoClusterCollision, 96);
         }
+    }
+}
+
+#[test]
+fn flatten_and_cost_rebalance_race_free() {
+    // Stress the new machinery directly: Morton reorder every step, an
+    // aggressive SPACE cost ceiling (many extra refinement rounds over the
+    // shared totals), and the cooperative flatten on every step.
+    for alg in [Algorithm::Space, Algorithm::Local] {
+        for procs in [2, 8] {
+            let mut cfg = SimConfig::new(alg);
+            cfg.morton_every = 1;
+            cfg.space_rebalance = 0.05;
+            certify_cfg(cfg, procs, Model::TwoClusterCollision, 96);
+        }
+    }
+}
+
+#[test]
+fn recursive_force_ablation_race_free() {
+    // The `flat_force = false` ablation path must stay certified too.
+    for alg in [Algorithm::Orig, Algorithm::Space] {
+        let mut cfg = SimConfig::new(alg);
+        cfg.flat_force = false;
+        certify_cfg(cfg, 4, Model::Plummer, 96);
     }
 }
 
