@@ -25,15 +25,29 @@ cargo test --offline -q --workspace
 echo "== paper-scale ignored suites =="
 cargo test --offline -q --test platform_behavior --test race_freedom -- --ignored
 
-echo "== repro smoke run + emitted-JSON schema checks =="
+echo "== repro smoke run (batched sweep, --jobs 2) + emitted-JSON schema checks =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 REPRO="$PWD/target/release/repro"
-(cd "$SMOKE_DIR" && "$REPRO" all --scale tiny \
+(cd "$SMOKE_DIR" && "$REPRO" all --scale tiny --jobs 2 \
     --json results.json --trace trace.json >/dev/null)
 "$REPRO" check-json "$SMOKE_DIR/results.json"
 "$REPRO" check-json "$SMOKE_DIR/BENCH_tiny.json"
 "$REPRO" check-trace "$SMOKE_DIR/trace.json"
+
+echo "== sweep determinism gate (--jobs 2 vs --jobs 1) =="
+# Single-processor runs are bitwise deterministic: table1 must emit
+# byte-identical JSON whatever the scheduler width. Multi-processor simulated
+# timings carry inherent run-to-run jitter (real thread interleaving feeds
+# the contention model), so the full matrix is compared structurally — same
+# experiments, configurations and series.
+(cd "$SMOKE_DIR" && "$REPRO" table1 --scale tiny --jobs 2 --json table1_j2.json >/dev/null)
+(cd "$SMOKE_DIR" && "$REPRO" table1 --scale tiny --jobs 1 --json table1_j1.json >/dev/null)
+cmp "$SMOKE_DIR/table1_j2.json" "$SMOKE_DIR/table1_j1.json"
+echo "table1 --jobs 2 and --jobs 1 outputs are byte-identical"
+(cd "$SMOKE_DIR" && "$REPRO" matrix --scale tiny --jobs 2 --json matrix_j2.json >/dev/null)
+(cd "$SMOKE_DIR" && "$REPRO" matrix --scale tiny --jobs 1 --json matrix_j1.json >/dev/null)
+"$REPRO" check-same "$SMOKE_DIR/matrix_j2.json" "$SMOKE_DIR/matrix_j1.json"
 
 echo "== bench regression gate (fresh treebuild vs committed BENCH_small.json) =="
 "$REPRO" check-json BENCH_small.json

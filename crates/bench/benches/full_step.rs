@@ -1,5 +1,11 @@
 //! Full-time-step benchmarks on native threads: the complete application
 //! (bounds → build → CoM → costzones → forces → update) per algorithm.
+//!
+//! The per-algorithm and scaling groups run on a persistent [`SimEngine`]
+//! so iterations measure the simulation itself rather than thread spawning
+//! and allocation; the `engine_reuse` group quantifies exactly that setup
+//! overhead by comparing a one-shot `run_simulation` against a reused
+//! engine for the same job.
 
 use bh_bench::{bench_config, workload};
 use bh_core::prelude::*;
@@ -13,9 +19,10 @@ fn bench_full_step(c: &mut Criterion) {
     group.sample_size(10);
     for alg in Algorithm::ALL {
         group.bench_with_input(BenchmarkId::new(alg.name(), n), &alg, |b, &alg| {
+            let mut engine = SimEngine::new(NativeEnv::new(threads));
+            let cfg = bench_config(alg);
             b.iter(|| {
-                let env = NativeEnv::new(threads);
-                let stats = run_simulation(&env, &bench_config(alg), &bodies);
+                let stats = engine.run(&cfg, &bodies);
                 criterion::black_box(stats.total_time())
             });
         });
@@ -30,9 +37,10 @@ fn bench_problem_scaling(c: &mut Criterion) {
     for n in [2_000usize, 8_000, 32_000] {
         let bodies = workload(n);
         group.bench_with_input(BenchmarkId::new("SPACE", n), &bodies, |b, bodies| {
+            let mut engine = SimEngine::new(NativeEnv::new(threads));
+            let cfg = bench_config(Algorithm::Space);
             b.iter(|| {
-                let env = NativeEnv::new(threads);
-                let stats = run_simulation(&env, &bench_config(Algorithm::Space), bodies);
+                let stats = engine.run(&cfg, bodies);
                 criterion::black_box(stats.total_time())
             });
         });
@@ -40,5 +48,37 @@ fn bench_problem_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_step, bench_problem_scaling);
+fn bench_engine_reuse(c: &mut Criterion) {
+    // One-shot vs reused engine on an identical short job: the difference
+    // is the per-run setup cost (thread spawn/join + World/tree/flat
+    // allocation) that SimEngine amortizes across a sweep.
+    let n = 2_000;
+    let threads = 4;
+    let bodies = workload(n);
+    let cfg = bench_config(Algorithm::Space);
+    let mut group = c.benchmark_group("engine_reuse");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("one_shot", n), |b| {
+        b.iter(|| {
+            let env = NativeEnv::new(threads);
+            let stats = run_simulation(&env, &cfg, &bodies);
+            criterion::black_box(stats.total_time())
+        });
+    });
+    group.bench_function(BenchmarkId::new("reused_engine", n), |b| {
+        let mut engine = SimEngine::new(NativeEnv::new(threads));
+        b.iter(|| {
+            let stats = engine.run(&cfg, &bodies);
+            criterion::black_box(stats.total_time())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_step,
+    bench_problem_scaling,
+    bench_engine_reuse
+);
 criterion_main!(benches);

@@ -3,17 +3,23 @@
 //! phase timing, and run statistics — the measurement protocol of the paper
 //! (a number of warm-up steps to let the partition settle, then measured
 //! steps).
+//!
+//! The step itself lives in [`crate::pipeline`] as an explicit stage list;
+//! this module owns the run-level protocol (warm-up vs. measured steps,
+//! validation, final snapshot) and the [`RunStats`] aggregation. Workers
+//! come from a [`WorkerPool`]; [`run_simulation`] spins up a throwaway pool,
+//! while [`crate::engine::SimEngine`] keeps pool and state alive across
+//! runs.
 
 use crate::algorithms::{Algorithm, Builder};
 use crate::body::Body;
 use crate::env::{CtxStats, Env, Phase};
-use crate::force::{force_phase, force_phase_recursive, ForceParams};
-use crate::harness::spmd;
-use crate::partition::{costzones, morton_reorder};
+use crate::force::ForceParams;
+use crate::harness::WorkerPool;
+use crate::pipeline::{StageIo, StepPipeline};
 use crate::tree::flat::FlatTree;
 use crate::tree::types::SharedTree;
 use crate::tree::validate::{validate_with, ValidateOpts};
-use crate::update_phase::update_phase;
 use crate::world::World;
 
 /// Full simulation configuration.
@@ -82,6 +88,16 @@ pub struct PhaseSample {
 impl PhaseSample {
     pub fn total(&self) -> u64 {
         self.tree + self.partition + self.force + self.update
+    }
+
+    /// The slot a phase's time accumulates into.
+    pub fn phase_mut(&mut self, phase: Phase) -> &mut u64 {
+        match phase {
+            Phase::Tree => &mut self.tree,
+            Phase::Partition => &mut self.partition,
+            Phase::Force => &mut self.force,
+            Phase::Update => &mut self.update,
+        }
     }
 }
 
@@ -262,13 +278,40 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
     let flat = cfg
         .flat_force
         .then(|| FlatTree::new(env, n, cfg.k, cfg.algorithm.layout()));
+    let pool = WorkerPool::new(env.num_procs());
+    execute(env, &pool, cfg, &world, &tree, flat.as_ref(), &builder)
+}
+
+/// Run the warm-up + measured protocol over already-allocated state and
+/// return the run's statistics plus the final body snapshot. This is the
+/// single execution path shared by the one-shot [`run_simulation`] entry
+/// points and the state-reusing [`crate::engine::SimEngine`].
+pub(crate) fn execute<E: Env>(
+    env: &E,
+    pool: &WorkerPool,
+    cfg: &SimConfig,
+    world: &World,
+    tree: &SharedTree,
+    flat: Option<&FlatTree>,
+    builder: &Builder,
+) -> (RunStats, Vec<Body>) {
     let total_steps = cfg.warmup_steps + cfg.measured_steps;
     // Positions as of the last tree build, captured for validation (the
     // final update phase moves bodies after the tree was summarized).
     let tree_snapshot: crate::sync::Mutex<Option<Vec<crate::math::Vec3>>> =
         crate::sync::Mutex::new(None);
+    let pipeline: StepPipeline<E> = StepPipeline::standard();
+    let io = StageIo {
+        cfg,
+        world,
+        tree,
+        flat,
+        builder,
+        total_steps,
+        tree_snapshot: &tree_snapshot,
+    };
 
-    let procs_records = spmd(env, |proc, ctx| {
+    let procs_records = pool.run(env, |proc, ctx| {
         let mut rec = ProcRecord {
             proc,
             steps: Vec::with_capacity(cfg.measured_steps),
@@ -283,95 +326,7 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
         };
         for step in 0..total_steps {
             let measuring = step >= cfg.warmup_steps;
-            let s0 = env.stats(ctx);
-            let t0 = env.now(ctx);
-
-            // --- tree-build phase (bounds + build + CoM + flatten) ---
-            env.phase_begin(ctx, Phase::Tree, step as u32);
-            if cfg.morton_every > 0 && step % cfg.morton_every == 0 {
-                morton_reorder(env, ctx, &world, proc);
-            }
-            let cube = crate::algorithms::common::bounds_phase(env, ctx, &world, proc);
-            builder.build(env, ctx, &tree, &world, proc, step as u32, cube);
-            env.barrier(ctx);
-            builder.com(env, ctx, &tree, &world, proc, step as u32);
-            env.barrier(ctx);
-            let mut flatten_t = 0;
-            if let Some(flat) = &flat {
-                // Snapshot the summarized tree. The fill's writes are
-                // separated from the force phase's reads by the partition
-                // phase's closing barrier.
-                let f0 = env.now(ctx);
-                let plan = flat.plan(env, ctx, &tree);
-                flat.publish_counts(env, ctx, &tree, &plan, proc);
-                env.barrier(ctx);
-                flat.fill(env, ctx, &tree, &plan, proc);
-                flatten_t = env.now(ctx) - f0;
-            }
-            if cfg.validate && proc == 0 && step + 1 == total_steps {
-                *tree_snapshot.lock() = Some(world.positions());
-            }
-            env.phase_end(ctx, Phase::Tree, step as u32);
-            let t1 = env.now(ctx);
-            let s1 = env.stats(ctx);
-
-            // --- partition phase ---
-            env.phase_begin(ctx, Phase::Partition, step as u32);
-            costzones(env, ctx, &tree, &world, proc);
-            env.barrier(ctx);
-            env.phase_end(ctx, Phase::Partition, step as u32);
-            let t2 = env.now(ctx);
-            let s2 = env.stats(ctx);
-
-            // --- force phase ---
-            env.phase_begin(ctx, Phase::Force, step as u32);
-            match &flat {
-                Some(flat) => force_phase(env, ctx, flat, &world, &cfg.force, proc),
-                None => force_phase_recursive(env, ctx, &tree, &world, &cfg.force, proc),
-            }
-            env.barrier(ctx);
-            env.phase_end(ctx, Phase::Force, step as u32);
-            let t3 = env.now(ctx);
-            let s3 = env.stats(ctx);
-
-            // --- update phase ---
-            env.phase_begin(ctx, Phase::Update, step as u32);
-            update_phase(env, ctx, &world, proc, cfg.dt);
-            env.barrier(ctx);
-            env.phase_end(ctx, Phase::Update, step as u32);
-            let t4 = env.now(ctx);
-            let s4 = env.stats(ctx);
-
-            if measuring {
-                rec.steps.push(PhaseSample {
-                    tree: t1 - t0,
-                    partition: t2 - t1,
-                    force: t3 - t2,
-                    update: t4 - t3,
-                });
-                let mut deltas = [
-                    s1.delta_since(&s0),
-                    s2.delta_since(&s1),
-                    s3.delta_since(&s2),
-                    s4.delta_since(&s3),
-                ];
-                // Phase times are measured at barrier boundaries via `now`
-                // (`stats().time` may lag behind on some environments), so
-                // keep the two accounts consistent.
-                deltas[Phase::Tree.index()].time = t1 - t0;
-                deltas[Phase::Partition.index()].time = t2 - t1;
-                deltas[Phase::Force.index()].time = t3 - t2;
-                deltas[Phase::Update.index()].time = t4 - t3;
-                for (acc, d) in rec.phases.iter_mut().zip(&deltas) {
-                    acc.accumulate(d);
-                }
-                rec.tree_locks += s1.lock_acquires - s0.lock_acquires;
-                rec.tree_remote_misses += s1.remote_misses - s0.remote_misses;
-                rec.tree_page_faults += s1.page_faults - s0.page_faults;
-                rec.tree_lock_wait += s1.lock_wait - s0.lock_wait;
-                rec.barrier_wait += s4.barrier_wait - s0.barrier_wait;
-                rec.flatten_time += flatten_t;
-            }
+            pipeline.run_step(env, ctx, &io, proc, step as u32, measuring, &mut rec);
         }
         rec.final_stats = env.stats(ctx);
         rec
@@ -383,7 +338,7 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
             .take()
             .unwrap_or_else(|| world.positions());
         validate_with(
-            &tree,
+            tree,
             &positions,
             &world.masses(),
             ValidateOpts {
@@ -400,7 +355,7 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
     (
         RunStats {
             algorithm: cfg.algorithm,
-            n,
+            n: world.n,
             procs: env.num_procs(),
             k: cfg.k,
             warmup_steps: cfg.warmup_steps,

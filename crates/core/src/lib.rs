@@ -34,6 +34,7 @@ pub mod algorithms;
 pub mod app;
 pub mod body;
 pub mod check;
+pub mod engine;
 pub mod env;
 pub mod force;
 pub mod harness;
@@ -41,6 +42,7 @@ pub mod math;
 pub mod model;
 pub mod partition;
 pub mod partition_orb;
+pub mod pipeline;
 pub mod rng;
 pub mod seq_app;
 pub mod shared;
@@ -56,8 +58,10 @@ pub mod prelude {
     pub use crate::app::{run_simulation, run_simulation_with_state, RunStats, SimConfig};
     pub use crate::body::Body;
     pub use crate::check::{CheckedEnv, Granularity, RaceReport};
+    pub use crate::engine::SimEngine;
     pub use crate::env::{CtxStats, Env, NativeEnv, Phase, Placement};
     pub use crate::force::ForceParams;
+    pub use crate::harness::WorkerPool;
     pub use crate::math::{Aabb, Cube, Vec3};
     pub use crate::model::Model;
     pub use crate::trace::TraceEnv;

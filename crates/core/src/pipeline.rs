@@ -1,0 +1,232 @@
+//! The per-step phase pipeline: each simulation phase as an explicit stage.
+//!
+//! Historically the step loop in [`crate::app`] was one ~150-line block with
+//! the timing / stats-delta bookkeeping copy-pasted once per phase. The
+//! pipeline splits it into [`StepStage`] implementations — tree, partition,
+//! force, update — and keeps the accounting in exactly one place,
+//! [`StepPipeline::run_step`]: phase begin/end markers, barrier-boundary
+//! phase times, [`CtxStats`] deltas (always via [`CtxStats::delta_since`],
+//! never raw counter subtraction), and the tree phase's lock/miss/fault
+//! attribution. A future stage (I/O, checkpointing) slots into
+//! [`StepPipeline::new`]'s stage list without touching the loop.
+//!
+//! Barrier placement is part of each stage's algorithm, so stages own their
+//! barriers: the tree stage barriers internally between build, CoM and
+//! flatten sub-phases but deliberately ends *without* one (the partition
+//! stage's closing barrier is what separates the flatten's writes from the
+//! force stage's reads); partition, force and update each end with the
+//! phase-closing barrier.
+
+use crate::algorithms::Builder;
+use crate::app::{PhaseSample, ProcRecord, SimConfig};
+use crate::env::{Env, Phase};
+use crate::force::{force_phase, force_phase_recursive};
+use crate::math::Vec3;
+use crate::partition::{costzones, morton_reorder};
+use crate::sync::Mutex;
+use crate::tree::flat::FlatTree;
+use crate::tree::types::SharedTree;
+use crate::update_phase::update_phase;
+use crate::world::World;
+
+/// Everything a stage may touch: the run's configuration and shared state.
+/// One instance is shared by all processors for the whole run.
+pub struct StageIo<'a> {
+    pub cfg: &'a SimConfig,
+    pub world: &'a World,
+    pub tree: &'a SharedTree,
+    pub flat: Option<&'a FlatTree>,
+    pub builder: &'a Builder,
+    pub total_steps: usize,
+    /// Positions as of the last tree build, captured for validation (the
+    /// final update stage moves bodies after the tree was summarized).
+    pub tree_snapshot: &'a Mutex<Option<Vec<Vec3>>>,
+}
+
+/// One phase of a simulation step, executed by every processor.
+pub trait StepStage<E: Env>: Send + Sync {
+    /// The phase this stage's work (and accounting) is attributed to.
+    fn phase(&self) -> Phase;
+
+    /// Execute the stage for one processor. Stages own their barrier
+    /// structure (see the module docs). The return value is the stage's
+    /// sub-phase time to credit to [`ProcRecord::flatten_time`] (only the
+    /// tree stage reports a nonzero value).
+    fn run(&self, env: &E, ctx: &mut E::Ctx, io: &StageIo<'_>, proc: usize, step: u32) -> u64;
+}
+
+/// An ordered list of stages plus the single copy of the per-phase
+/// accounting logic.
+pub struct StepPipeline<E: Env> {
+    stages: Vec<Box<dyn StepStage<E>>>,
+}
+
+impl<E: Env> StepPipeline<E> {
+    /// A pipeline over an explicit stage list.
+    pub fn new(stages: Vec<Box<dyn StepStage<E>>>) -> StepPipeline<E> {
+        StepPipeline { stages }
+    }
+
+    /// The standard Barnes-Hut step: tree → partition → force → update.
+    pub fn standard() -> StepPipeline<E> {
+        StepPipeline::new(vec![
+            Box::new(TreeStage),
+            Box::new(PartitionStage),
+            Box::new(ForceStage),
+            Box::new(UpdateStage),
+        ])
+    }
+
+    /// Run one full step for one processor, accumulating measurements into
+    /// `rec` when `measuring`. Phase times are measured at barrier
+    /// boundaries via `now` (`stats().time` may lag behind on some
+    /// environments), so the [`CtxStats`] delta of each stage has its `time`
+    /// overwritten with the barrier-boundary time — keeping the two accounts
+    /// consistent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_step(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        io: &StageIo<'_>,
+        proc: usize,
+        step: u32,
+        measuring: bool,
+        rec: &mut ProcRecord,
+    ) {
+        let mut prev_stats = env.stats(ctx);
+        let mut prev_t = env.now(ctx);
+        let mut sample = PhaseSample::default();
+        for stage in &self.stages {
+            let phase = stage.phase();
+            env.phase_begin(ctx, phase, step);
+            let sub_time = stage.run(env, ctx, io, proc, step);
+            env.phase_end(ctx, phase, step);
+            let t = env.now(ctx);
+            let stats = env.stats(ctx);
+            if measuring {
+                let mut delta = stats.delta_since(&prev_stats);
+                delta.time = t - prev_t;
+                *sample.phase_mut(phase) += delta.time;
+                rec.phases[phase.index()].accumulate(&delta);
+                rec.barrier_wait += delta.barrier_wait;
+                if phase == Phase::Tree {
+                    rec.tree_locks += delta.lock_acquires;
+                    rec.tree_remote_misses += delta.remote_misses;
+                    rec.tree_page_faults += delta.page_faults;
+                    rec.tree_lock_wait += delta.lock_wait;
+                    rec.flatten_time += sub_time;
+                }
+            }
+            prev_stats = stats;
+            prev_t = t;
+        }
+        if measuring {
+            rec.steps.push(sample);
+        }
+    }
+}
+
+/// Tree-build phase: optional Morton reorder, bounds reduction, build,
+/// center-of-mass pass, and the cooperative flat-snapshot pass.
+struct TreeStage;
+
+impl<E: Env> StepStage<E> for TreeStage {
+    fn phase(&self) -> Phase {
+        Phase::Tree
+    }
+
+    fn run(&self, env: &E, ctx: &mut E::Ctx, io: &StageIo<'_>, proc: usize, step: u32) -> u64 {
+        let cfg = io.cfg;
+        if cfg.morton_every > 0 && (step as usize).is_multiple_of(cfg.morton_every) {
+            morton_reorder(env, ctx, io.world, proc);
+        }
+        let cube = crate::algorithms::common::bounds_phase(env, ctx, io.world, proc);
+        io.builder
+            .build(env, ctx, io.tree, io.world, proc, step, cube);
+        env.barrier(ctx);
+        io.builder.com(env, ctx, io.tree, io.world, proc, step);
+        env.barrier(ctx);
+        let mut flatten_t = 0;
+        if let Some(flat) = io.flat {
+            // Snapshot the summarized tree. The fill's writes are separated
+            // from the force phase's reads by the partition stage's closing
+            // barrier.
+            let f0 = env.now(ctx);
+            let plan = flat.plan(env, ctx, io.tree);
+            flat.publish_counts(env, ctx, io.tree, &plan, proc);
+            env.barrier(ctx);
+            flat.fill(env, ctx, io.tree, &plan, proc);
+            flatten_t = env.now(ctx) - f0;
+        }
+        if cfg.validate && proc == 0 && step as usize + 1 == io.total_steps {
+            *io.tree_snapshot.lock() = Some(io.world.positions());
+        }
+        flatten_t
+    }
+}
+
+/// Costzones partitioning.
+struct PartitionStage;
+
+impl<E: Env> StepStage<E> for PartitionStage {
+    fn phase(&self) -> Phase {
+        Phase::Partition
+    }
+
+    fn run(&self, env: &E, ctx: &mut E::Ctx, io: &StageIo<'_>, proc: usize, _step: u32) -> u64 {
+        costzones(env, ctx, io.tree, io.world, proc);
+        env.barrier(ctx);
+        0
+    }
+}
+
+/// Force computation over the flat snapshot (or the recursive walk in the
+/// `flat_force = false` ablation).
+struct ForceStage;
+
+impl<E: Env> StepStage<E> for ForceStage {
+    fn phase(&self) -> Phase {
+        Phase::Force
+    }
+
+    fn run(&self, env: &E, ctx: &mut E::Ctx, io: &StageIo<'_>, proc: usize, _step: u32) -> u64 {
+        match io.flat {
+            Some(flat) => force_phase(env, ctx, flat, io.world, &io.cfg.force, proc),
+            None => force_phase_recursive(env, ctx, io.tree, io.world, &io.cfg.force, proc),
+        }
+        env.barrier(ctx);
+        0
+    }
+}
+
+/// Position/velocity integration.
+struct UpdateStage;
+
+impl<E: Env> StepStage<E> for UpdateStage {
+    fn phase(&self) -> Phase {
+        Phase::Update
+    }
+
+    fn run(&self, env: &E, ctx: &mut E::Ctx, io: &StageIo<'_>, proc: usize, _step: u32) -> u64 {
+        update_phase(env, ctx, io.world, proc, io.cfg.dt);
+        env.barrier(ctx);
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::NativeEnv;
+
+    #[test]
+    fn standard_pipeline_covers_all_phases_in_order() {
+        let p: StepPipeline<NativeEnv> = StepPipeline::standard();
+        let phases: Vec<Phase> = p.stages.iter().map(|s| s.phase()).collect();
+        assert_eq!(
+            phases,
+            vec![Phase::Tree, Phase::Partition, Phase::Force, Phase::Update]
+        );
+    }
+}

@@ -167,6 +167,26 @@ impl FlatTree {
         }
     }
 
+    /// Reset the snapshot storage to its freshly-allocated state (untimed,
+    /// single-threaded engine setup between jobs). The per-step flatten
+    /// protocol overwrites every slot it later reads, so this exists to
+    /// make reused-engine runs bitwise indistinguishable from
+    /// fresh-allocation runs, not for per-step correctness.
+    pub fn reset(&self) {
+        for i in 0..self.nodes.len() {
+            self.nodes.poke(i, FlatNode::zero());
+        }
+        for i in 0..self.kids.len() {
+            self.kids.poke(i, 0);
+        }
+        for i in 0..self.bodies.len() {
+            self.bodies.poke(i, 0);
+        }
+        for i in 0..self.sub_counts.len() {
+            self.sub_counts.poke(i, 0);
+        }
+    }
+
     /// Phase 1 of the flatten: compute the deterministic plan. Identical on
     /// every processor (all inputs are post-barrier immutable tree state).
     pub fn plan<E: Env>(&self, env: &E, ctx: &mut E::Ctx, tree: &SharedTree) -> FlatPlan {

@@ -789,6 +789,54 @@ impl SharedTree {
         }
     }
 
+    /// Reset already-allocated tree storage to its freshly-allocated state
+    /// (untimed, single-threaded engine setup between jobs). Unlike the
+    /// per-step [`SharedTree::reset_for_rebuild`] — which only rewinds the
+    /// allocation counters — this clears every record, child slot, mirror
+    /// and free list back to the values [`SharedTree::new`] establishes, so
+    /// a run on a reused engine starts from bitwise the same cold state as a
+    /// run on a fresh allocation.
+    pub fn reset(&self) {
+        for a in &self.arenas {
+            for i in 0..a.cells.len() {
+                a.cells.poke(i, Cell::empty());
+            }
+            for i in 0..a.leaves.len() {
+                a.leaves.poke(i, Leaf::empty());
+            }
+            for i in 0..a.children.len() {
+                a.children.poke(i, 0);
+            }
+            for i in 0..a.leaf_parent.len() {
+                a.leaf_parent.poke(i, 0);
+            }
+            for i in 0..a.leaf_bounds.len() {
+                a.leaf_bounds.poke(i, 0);
+            }
+            for i in 0..a.cell_pending.len() {
+                a.cell_pending.poke(i, 0);
+            }
+            a.next_cell.poke(0, 0);
+            a.next_leaf.poke(0, 0);
+            for i in 0..a.free_cells.len() {
+                a.free_cells.poke(i, 0);
+            }
+            for i in 0..a.free_leaves.len() {
+                a.free_leaves.poke(i, 0);
+            }
+            a.free_tops.poke(0, 0);
+            a.free_tops.poke(1, 0);
+        }
+        for (list, len) in self.leaf_lists.iter().zip(&self.leaf_list_len) {
+            for i in 0..list.len() {
+                list.poke(i, 0);
+            }
+            len.poke(0, 0);
+        }
+        self.root.poke(0, NodeRef::NULL);
+        self.root_cube.poke(0, Cube::new(Vec3::ZERO, 1.0));
+    }
+
     /// Number of live cells allocated across all arenas (untimed).
     pub fn cells_allocated(&self) -> usize {
         self.arenas
@@ -901,6 +949,39 @@ mod tests {
         assert_eq!(tree.leaves_allocated(), 0);
         assert_eq!(tree.leaf_list_len[0].peek(0), 0);
         assert!(tree.root.peek(0).is_null());
+    }
+
+    #[test]
+    fn full_reset_restores_fresh_state() {
+        let env = NativeEnv::new(2);
+        let tree = SharedTree::new(&env, 200, 4, TreeLayout::PerProcessor);
+        let mut ctx = env.make_ctx(0);
+        let c = tree.alloc_cell(&env, &mut ctx, 0, 0);
+        let l = tree.alloc_leaf(&env, &mut ctx, 0, 0);
+        tree.set_child(&env, &mut ctx, c, 3, l);
+        tree.set_leaf_parent(&env, &mut ctx, l, c);
+        tree.free_leaf(&env, &mut ctx, l);
+        tree.root.poke(0, c);
+        tree.root_cube
+            .poke(0, Cube::new(Vec3::new(1.0, 2.0, 3.0), 9.0));
+        tree.reset();
+        assert_eq!(tree.cells_allocated(), 0);
+        assert_eq!(tree.leaves_allocated(), 0);
+        assert!(tree.root.peek(0).is_null());
+        let cube = tree.root_cube.peek(0);
+        assert_eq!((cube.center, cube.half), (Vec3::ZERO, 1.0));
+        for a in &tree.arenas {
+            assert!(!a.cells.peek(0).in_use);
+            assert!(!a.leaves.peek(0).in_use);
+            assert_eq!(a.leaves.peek(0).listed_by, u8::MAX);
+            assert_eq!(a.children.peek(3), 0);
+            assert_eq!(a.leaf_parent.peek(0), 0);
+            assert_eq!(a.free_tops.peek(1), 0);
+        }
+        for q in 0..2 {
+            assert_eq!(tree.leaf_list_len[q].peek(0), 0);
+            assert_eq!(tree.leaf_lists[q].peek(0), 0);
+        }
     }
 
     #[test]

@@ -157,18 +157,80 @@ impl World {
                 .map(|q| SharedVec::new(env, SUBSPACE_CAP + 1, 0u32, Placement::Local(q)))
                 .collect(),
         };
+        w.reset(bodies);
+        w
+    }
+
+    /// Reinitialize already-allocated world state for a new run over
+    /// `bodies` (untimed, single-threaded engine setup between jobs). Every
+    /// array — body state, costzones assignment, bounds scratch and the
+    /// SPACE partitioner scratch — returns to exactly the state
+    /// [`World::new`] establishes, so a run on a reused engine performs the
+    /// same memory operations, in the same order, on the same values as a
+    /// run on a fresh allocation.
+    pub fn reset(&self, bodies: &[Body]) {
+        assert_eq!(
+            bodies.len(),
+            self.n,
+            "World::reset needs the allocated body count"
+        );
+        let n = self.n;
+        let p = self.proc_bbox.len();
         for (i, b) in bodies.iter().enumerate() {
-            w.pos.poke(i, b.pos);
-            w.vel.poke(i, b.vel);
-            w.mass.poke(i, b.mass);
-            w.order.poke(i, i as u32);
+            self.pos.poke(i, b.pos);
+            self.vel.poke(i, b.vel);
+            self.acc.poke(i, Vec3::ZERO);
+            self.mass.poke(i, b.mass);
+            self.cost.poke(i, 1);
+            self.body_leaf.poke(i, 0);
+            self.order.poke(i, i as u32);
         }
         // Initial even assignment in index order (the paper: "for the first
         // time step, the particles are evenly assigned to processors").
         for q in 0..=p {
-            w.zone_start.poke(q, (q * n / p) as u32);
+            self.zone_start.poke(q, (q * n / p) as u32);
         }
-        w
+        for q in 0..p {
+            self.proc_bbox.poke(q, Aabb::EMPTY);
+        }
+        for frontier in &self.sp_frontier {
+            for i in 0..frontier.len() {
+                frontier.poke(i, 0);
+            }
+        }
+        for row in &self.sp_counts {
+            for i in 0..row.len() {
+                row.poke(i, 0);
+            }
+        }
+        for row in &self.sp_costs {
+            for i in 0..row.len() {
+                row.poke(i, 0);
+            }
+        }
+        for i in 0..self.sp_total_counts.len() {
+            self.sp_total_counts.poke(i, 0);
+            self.sp_total_costs.poke(i, 0);
+        }
+        for i in 0..self.sp_subspaces.len() {
+            self.sp_subspaces.poke(i, Subspace::zero());
+        }
+        self.sp_nsub.poke(0, 0);
+        for row in &self.sp_body_slot {
+            for i in 0..row.len() {
+                row.poke(i, 0);
+            }
+        }
+        for row in &self.sp_bucket {
+            for i in 0..row.len() {
+                row.poke(i, 0);
+            }
+        }
+        for row in &self.sp_bucket_off {
+            for i in 0..row.len() {
+                row.poke(i, 0);
+            }
+        }
     }
 
     /// Bodies assigned to `proc` (zone bounds, untimed read; the zone
@@ -229,6 +291,31 @@ mod tests {
         assert_eq!(covered, 103);
         assert_eq!(w.zone(0).0, 0);
         assert_eq!(w.zone(3).1, 103);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let env = NativeEnv::new(4);
+        let first = Model::Plummer.generate(64, 7);
+        let second = Model::UniformSphere.generate(64, 9);
+        let w = World::new(&env, &first);
+        // Dirty state a run would leave behind.
+        w.acc.poke(3, Vec3::new(1.0, 2.0, 3.0));
+        w.cost.poke(5, 99);
+        w.body_leaf.poke(1, 77);
+        w.order.poke(0, 63);
+        w.zone_start.poke(1, 1);
+        w.sp_nsub.poke(0, 12);
+        w.sp_total_counts.poke(17, 4);
+        w.reset(&second);
+        assert_eq!(w.snapshot(), second);
+        assert_eq!(w.acc.peek(3), Vec3::ZERO);
+        assert_eq!(w.cost.peek(5), 1);
+        assert_eq!(w.body_leaf.peek(1), 0);
+        assert_eq!(w.order.peek(0), 0);
+        assert_eq!(w.zone(0), (0, 16));
+        assert_eq!(w.sp_nsub.peek(0), 0);
+        assert_eq!(w.sp_total_counts.peek(17), 0);
     }
 
     #[test]

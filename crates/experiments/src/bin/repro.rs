@@ -1,7 +1,8 @@
 //! `repro` — regenerate the tables and figures of Shan & Singh (IPPS 1998).
 //!
 //! ```text
-//! repro <experiment|all> [--scale tiny|small|full] [--json <path>] [--trace <path>]
+//! repro <experiment|all|matrix> [--scale tiny|small|full] [--jobs <N>]
+//!       [--json <path>] [--trace <path>]
 //! repro check-json <path>
 //! repro check-trace <path>
 //!
@@ -13,6 +14,19 @@
 //! `--scale full` runs the paper sizes (slow); `--scale tiny` is a smoke
 //! test. Results are printed as text tables; `--json` additionally writes a
 //! machine-readable record.
+//!
+//! `matrix` runs every *cached* experiment (everything except `treebuild`,
+//! whose native wall timings are intentionally nondeterministic).
+//!
+//! `--jobs N` prewarms the run caches with the sweep scheduler: the
+//! deduplicated (platform, algorithm, n, procs) job list is executed across
+//! N scheduler threads, then the tables are generated serially from the
+//! caches. The scheduler changes wall-clock time only, never which
+//! configurations are computed. Single-processor experiments (`table1`) are
+//! bitwise deterministic, so their output is byte-identical across any
+//! `--jobs` setting; multi-processor simulated timings carry run-to-run
+//! jitter (real thread interleaving feeds the contention model), for which
+//! `check-same` verifies structural equality of two documents.
 //!
 //! The `treebuild` experiment (also part of `all`) instruments every
 //! algorithm with `TraceEnv` on both a native machine and a simulated
@@ -32,14 +46,16 @@
 use bh_experiments::experiments;
 use bh_experiments::json::Json;
 use bh_experiments::runner::ExperimentScale;
+use bh_experiments::sweep;
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
 
 fn usage_text() -> String {
     format!(
-        "usage: repro <experiment|all> [--scale {}] [--json <path>] [--trace <path>]\n\
+        "usage: repro <experiment|all|matrix> [--scale {}] [--jobs <N>] [--json <path>] [--trace <path>]\n\
          \x20      repro check-json <path>\n\
          \x20      repro check-trace <path>\n\
+         \x20      repro check-same <a> <b>\n\
          \x20      repro bench-diff <baseline> <fresh> [--max-regress <fraction>]\n\
          experiments: {}",
         ExperimentScale::NAMES.join("|"),
@@ -74,6 +90,16 @@ fn main() {
                 .get(1)
                 .unwrap_or_else(|| die("check-trace needs a <path>"));
             check_trace(path);
+            return;
+        }
+        "check-same" => {
+            let a = args
+                .get(1)
+                .unwrap_or_else(|| die("check-same needs <a> <b>"));
+            let b = args
+                .get(2)
+                .unwrap_or_else(|| die("check-same needs <a> <b>"));
+            check_same(a, b);
             return;
         }
         "bench-diff" => {
@@ -112,11 +138,21 @@ fn main() {
 
     let mut which: Option<String> = None;
     let mut scale = ExperimentScale::Small;
+    let mut jobs = 1usize;
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                let value = args.get(i).unwrap_or_else(|| die("--jobs needs a value"));
+                jobs = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|j| *j >= 1)
+                    .unwrap_or_else(|| die(&format!("invalid --jobs '{value}' (integer >= 1)")));
+            }
             "--scale" => {
                 i += 1;
                 let value = args.get(i).unwrap_or_else(|| die("--scale needs a value"));
@@ -151,21 +187,40 @@ fn main() {
     }
     let which = which.unwrap_or_else(|| die("missing experiment name"));
 
+    // Prewarm the run caches with the sweep scheduler; the serial table
+    // generation below then only performs lookups. Progress goes to stderr
+    // so the emitted documents stay byte-identical to a --jobs 1 run.
+    if jobs > 1 {
+        let sched = if which == "all" || which == "matrix" {
+            Some(sweep::all_jobs(scale))
+        } else {
+            sweep::jobs_for(&which, scale)
+        };
+        if let Some(sched) = sched {
+            let t = std::time::Instant::now();
+            let count = sched.run(jobs);
+            eprintln!(
+                "[sweep: {count} job(s) across {jobs} scheduler thread(s) in {:.1}s]",
+                t.elapsed().as_secs_f64()
+            );
+        }
+    }
+
     let t0 = std::time::Instant::now();
     let mut tables = Vec::new();
     let mut report = None;
-    if which == "all" {
+    if which == "all" || which == "matrix" {
         tables = experiments::all_experiments(scale);
     }
     if which == "all" || which == "treebuild" || which == "tb" {
         let r = experiments::treebuild(scale);
         tables.push(r.table.clone());
         report = Some(r);
-    } else {
+    } else if which != "matrix" {
         match experiments::by_name(&which, scale) {
             Some(t) => tables.push(t),
             None => die(&format!(
-                "unknown experiment '{which}' (valid: all, {})",
+                "unknown experiment '{which}' (valid: all, matrix, {})",
                 experiments::EXPERIMENT_NAMES.join(", ")
             )),
         }
@@ -258,6 +313,85 @@ fn check_json(path: &str) {
         }
     }
     println!("{path}: OK ({} record(s))", items.len());
+}
+
+/// Verify two experiment-table documents describe the same report: equal
+/// table ids, titles, headers, row counts and row labels (first column).
+/// This is the cross-`--jobs` matrix gate: numeric cells of multi-processor
+/// simulated runs jitter run to run, but the *structure* — which
+/// experiments, configurations and series were computed — must be invariant
+/// under the sweep scheduler.
+fn check_same(path_a: &str, path_b: &str) {
+    let a = load(path_a);
+    let b = load(path_b);
+    let tables_a = a
+        .as_array()
+        .unwrap_or_else(|| die(&format!("{path_a}: top level is not an array")));
+    let tables_b = b
+        .as_array()
+        .unwrap_or_else(|| die(&format!("{path_b}: top level is not an array")));
+    if tables_a.len() != tables_b.len() {
+        die(&format!(
+            "{path_a} has {} table(s) but {path_b} has {}",
+            tables_a.len(),
+            tables_b.len()
+        ));
+    }
+    let str_field = |t: &Json, field: &str, path: &str, i: usize| -> String {
+        t.get(field)
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| die(&format!("{path}: table {i} lacks \"{field}\"")))
+            .to_string()
+    };
+    let rows_of = |t: &Json, path: &str, i: usize| -> Vec<Vec<String>> {
+        t.get("rows")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| die(&format!("{path}: table {i} lacks \"rows\"")))
+            .iter()
+            .map(|r| {
+                r.as_array()
+                    .unwrap_or_else(|| die(&format!("{path}: table {i} has a non-array row")))
+                    .iter()
+                    .map(|c| c.as_str().unwrap_or("").to_string())
+                    .collect()
+            })
+            .collect()
+    };
+    for (i, (ta, tb)) in tables_a.iter().zip(tables_b).enumerate() {
+        for field in ["id", "title"] {
+            let (va, vb) = (
+                str_field(ta, field, path_a, i),
+                str_field(tb, field, path_b, i),
+            );
+            if va != vb {
+                die(&format!("table {i}: {field} differs: \"{va}\" vs \"{vb}\""));
+            }
+        }
+        let id = str_field(ta, "id", path_a, i);
+        if ta.get("headers") != tb.get("headers") {
+            die(&format!("{id}: headers differ"));
+        }
+        let (ra, rb) = (rows_of(ta, path_a, i), rows_of(tb, path_b, i));
+        if ra.len() != rb.len() {
+            die(&format!("{id}: {} row(s) vs {}", ra.len(), rb.len()));
+        }
+        for (j, (rowa, rowb)) in ra.iter().zip(&rb).enumerate() {
+            if rowa.len() != rowb.len() {
+                die(&format!("{id} row {j}: column counts differ"));
+            }
+            if rowa.first() != rowb.first() {
+                die(&format!(
+                    "{id} row {j}: label differs: {:?} vs {:?}",
+                    rowa.first(),
+                    rowb.first()
+                ));
+            }
+        }
+    }
+    println!(
+        "{path_a} and {path_b}: same report structure ({} table(s))",
+        tables_a.len()
+    );
 }
 
 /// Key identifying a treebuild record across two BENCH documents.

@@ -4,32 +4,12 @@
 //! configurable problem scale. Runs are memoized within a process so that
 //! figures sharing configurations (e.g. Figures 8 and 9) reuse them.
 
-use crate::runner::{
-    run_on_platform, seq_time_on_platform, ExperimentScale, PlatformRun, WORKLOAD_SEED,
-};
+use crate::runner::{run_cached, seq_time_on_platform, ExperimentScale, WORKLOAD_SEED};
 use crate::tables::{fmt_pct, fmt_speedup, Table};
 use bh_core::prelude::*;
-use bh_core::sync::Mutex;
 use ssmp::{platform, CostModel, Machine};
-use std::collections::HashMap;
 
-type RunKey = (String, Algorithm, usize, usize);
-static RUN_CACHE: Mutex<Option<HashMap<RunKey, PlatformRun>>> = Mutex::new(None);
-
-fn run_cached(cost: &CostModel, alg: Algorithm, n: usize, procs: usize) -> PlatformRun {
-    let key = (cost.name.clone(), alg, n, procs);
-    if let Some(hit) = RUN_CACHE.lock().get_or_insert_with(HashMap::new).get(&key) {
-        return hit.clone();
-    }
-    let run = run_on_platform(cost, alg, n, procs);
-    RUN_CACHE
-        .lock()
-        .get_or_insert_with(HashMap::new)
-        .insert(key, run.clone());
-    run
-}
-
-const ALGS: [Algorithm; 5] = [
+pub(crate) const ALGS: [Algorithm; 5] = [
     Algorithm::Orig,
     Algorithm::Local,
     Algorithm::Update,

@@ -8,7 +8,9 @@
 pub mod experiments;
 pub mod json;
 pub mod runner;
+pub mod sweep;
 pub mod tables;
 
-pub use runner::{run_on_platform, seq_time_on_platform, ExperimentScale, PlatformRun};
+pub use runner::{run_cached, run_on_platform, seq_time_on_platform, ExperimentScale, PlatformRun};
+pub use sweep::{SweepJob, SweepScheduler};
 pub use tables::Table;

@@ -1,0 +1,405 @@
+//! Batched sweep scheduling: the experiment suite as an explicit job list.
+//!
+//! Each table/figure function in [`crate::experiments`] runs its platform
+//! configurations serially and memoizes them in the run caches of
+//! [`crate::runner`]. The sweep scheduler makes the implied job list
+//! explicit: it enumerates every (platform, algorithm, n, procs)
+//! configuration a set of experiments will need, dedups them (figures share
+//! many configurations), and runs them across a bounded number of scheduler
+//! threads to *prewarm* the caches. The serial table-generation pass that
+//! follows is then pure cache lookup: the scheduler changes wall-clock
+//! time, never the set of configurations computed or which value a given
+//! key gets (each key is computed at most once thanks to dedup).
+//!
+//! Determinism: single-processor runs (all sequential baselines, hence all
+//! of Table 1) are bitwise deterministic, so their output is byte-identical
+//! across any `--jobs` setting *and* across processes. Multi-processor
+//! simulated runs carry run-to-run jitter — the contention cost model is
+//! fed by real thread interleaving (lock-queue depth, ownership-transfer
+//! order) — with or without the sweep; only the document *structure* is
+//! invariant for those.
+//!
+//! Sequential baselines are listed as explicit jobs and sorted ahead of the
+//! parallel runs that divide by them; if a parallel job nevertheless starts
+//! first it simply computes the (identical, deterministic) baseline itself.
+
+use crate::experiments::ALGS;
+use crate::runner::{run_cached, seq_time_on_platform, ExperimentScale};
+use bh_core::prelude::*;
+use ssmp::{platform, CostModel};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One unit of sweep work: a full simulated application run.
+pub enum SweepJob {
+    /// Sequential baseline on a platform (PARTREE on one processor).
+    Seq { cost: CostModel, n: usize },
+    /// One (platform, algorithm, n, procs) measurement.
+    Par {
+        cost: CostModel,
+        alg: Algorithm,
+        n: usize,
+        procs: usize,
+    },
+}
+
+impl SweepJob {
+    /// Cache-identity of the job. Platform cost models are identified by
+    /// name (constructing one for a different processor count yields the
+    /// same model), so the key matches the run caches in `runner`.
+    fn key(&self) -> String {
+        match self {
+            SweepJob::Seq { cost, n } => format!("seq/{}/{n}", cost.name),
+            SweepJob::Par {
+                cost,
+                alg,
+                n,
+                procs,
+            } => format!("par/{}/{}/{n}/{procs}", cost.name, alg.name()),
+        }
+    }
+
+    /// Rough relative cost, for longest-job-first ordering: the dominant
+    /// term is force evaluation, ~n log n per measured step.
+    fn weight(&self) -> u64 {
+        let n = match self {
+            SweepJob::Seq { n, .. } | SweepJob::Par { n, .. } => *n,
+        } as u64;
+        n * n.max(2).ilog2() as u64
+    }
+
+    /// Execute the job, populating the memoization caches as a side effect.
+    fn run(&self) {
+        match self {
+            SweepJob::Seq { cost, n } => {
+                seq_time_on_platform(cost, *n);
+            }
+            SweepJob::Par {
+                cost,
+                alg,
+                n,
+                procs,
+            } => {
+                run_cached(cost, *alg, *n, *procs);
+            }
+        }
+    }
+}
+
+/// A deduplicated batch of sweep jobs.
+#[derive(Default)]
+pub struct SweepScheduler {
+    jobs: Vec<SweepJob>,
+    seen: HashSet<String>,
+}
+
+impl SweepScheduler {
+    pub fn new() -> SweepScheduler {
+        SweepScheduler::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Enqueue a job unless an identical one is already queued.
+    pub fn push(&mut self, job: SweepJob) {
+        if self.seen.insert(job.key()) {
+            self.jobs.push(job);
+        }
+    }
+
+    /// Enqueue one measurement plus the sequential baseline it divides by.
+    pub fn add_run(&mut self, cost: &CostModel, alg: Algorithm, n: usize, procs: usize) {
+        self.push(SweepJob::Seq {
+            cost: cost.clone(),
+            n,
+        });
+        self.push(SweepJob::Par {
+            cost: cost.clone(),
+            alg,
+            n,
+            procs,
+        });
+    }
+
+    pub fn add_seq(&mut self, cost: &CostModel, n: usize) {
+        self.push(SweepJob::Seq {
+            cost: cost.clone(),
+            n,
+        });
+    }
+
+    /// Run every queued job across up to `workers` scheduler threads and
+    /// return the number of jobs executed. Baselines run ahead of the
+    /// measurements that need them, longest jobs first within each class.
+    pub fn run(mut self, workers: usize) -> usize {
+        self.jobs.sort_by_key(|j| {
+            let seq_first = match j {
+                SweepJob::Seq { .. } => 0u8,
+                SweepJob::Par { .. } => 1,
+            };
+            (seq_first, std::cmp::Reverse(j.weight()))
+        });
+        let total = self.jobs.len();
+        let workers = workers.max(1).min(total.max(1));
+        if workers == 1 {
+            for job in &self.jobs {
+                job.run();
+            }
+            return total;
+        }
+        let next = AtomicUsize::new(0);
+        let jobs = &self.jobs;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    job.run();
+                });
+            }
+        });
+        total
+    }
+}
+
+/// The job list of the full cached-experiment matrix (everything
+/// [`crate::experiments::all_experiments`] will look up), mirroring each
+/// figure's enumeration exactly. The `treebuild` experiment is not cached
+/// (its native timings are intentionally re-measured), so it has no jobs
+/// here.
+pub fn all_jobs(scale: ExperimentScale) -> SweepScheduler {
+    let mut s = SweepScheduler::new();
+    for name in MATRIX_EXPERIMENTS {
+        add_jobs_for(&mut s, name, scale);
+    }
+    s
+}
+
+/// The cached experiments making up the deterministic report matrix, in
+/// paper order.
+pub const MATRIX_EXPERIMENTS: [&str; 13] = [
+    "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table2", "fig12", "fig13",
+    "fig14", "sc442", "fig15",
+];
+
+/// Job list for one named experiment (same names as
+/// [`crate::experiments::by_name`]); `None` for unknown names and for
+/// `treebuild`, which bypasses the caches.
+pub fn jobs_for(name: &str, scale: ExperimentScale) -> Option<SweepScheduler> {
+    let mut s = SweepScheduler::new();
+    let name = name.to_ascii_lowercase();
+    let known = matches!(
+        name.as_str(),
+        "table1"
+            | "t1"
+            | "fig6"
+            | "f6"
+            | "fig7"
+            | "f7"
+            | "fig8"
+            | "f8"
+            | "fig9"
+            | "f9"
+            | "fig10"
+            | "f10"
+            | "fig11"
+            | "f11"
+            | "table2"
+            | "t2"
+            | "fig12"
+            | "f12"
+            | "fig13"
+            | "f13"
+            | "fig14"
+            | "f14"
+            | "sc442"
+            | "sc"
+            | "fig15"
+            | "f15"
+    );
+    if !known {
+        return None;
+    }
+    add_jobs_for(&mut s, &name, scale);
+    Some(s)
+}
+
+fn sizes(scale: ExperimentScale, paper: &[usize]) -> Vec<usize> {
+    paper.iter().map(|&n| scale.size(n)).collect()
+}
+
+fn add_jobs_for(s: &mut SweepScheduler, name: &str, scale: ExperimentScale) {
+    match name {
+        "table1" | "t1" => {
+            for cost in [
+                platform::origin2000(1),
+                platform::challenge(1),
+                platform::typhoon0_hlrc(1),
+                platform::paragon_hlrc(1),
+            ] {
+                for n in sizes(scale, &[8192, 16384, 32768, 65536, 131072, 524288]) {
+                    s.add_seq(&cost, n);
+                }
+            }
+        }
+        "fig6" | "f6" => {
+            let procs = scale.procs(16);
+            let cost = platform::challenge(procs);
+            for n in sizes(scale, &[8192, 16384, 32768, 65536, 131072]) {
+                for alg in ALGS {
+                    s.add_run(&cost, alg, n, procs);
+                }
+            }
+        }
+        "fig7" | "f7" => {
+            let n = scale.size(131072);
+            let cost = platform::challenge(16);
+            for p in [4, 8, 16].map(|p| scale.procs(p)) {
+                for alg in ALGS {
+                    s.add_run(&cost, alg, n, p);
+                }
+            }
+        }
+        "fig8" | "f8" | "fig9" | "f9" => {
+            let procs = scale.procs(30);
+            let cost = platform::origin2000(procs);
+            for n in sizes(scale, &[8192, 16384, 32768, 65536, 131072, 524288]) {
+                for alg in ALGS {
+                    s.add_run(&cost, alg, n, procs);
+                }
+            }
+        }
+        "fig10" | "f10" => {
+            let n = scale.size(524288);
+            for p in [16, 24, 30].map(|p| scale.procs(p)) {
+                let cost = platform::origin2000(p);
+                for alg in ALGS {
+                    s.add_run(&cost, alg, n, p);
+                }
+            }
+        }
+        "fig11" | "f11" => {
+            let n = scale.size(524288);
+            let cost = platform::origin2000(30);
+            for p in [1, 8, 16, 24, 30].map(|p| scale.procs(p)) {
+                for alg in ALGS {
+                    s.add_run(&cost, alg, n, p);
+                }
+            }
+        }
+        "table2" | "t2" => {
+            let procs = scale.procs(16);
+            let cost = platform::origin2000(procs);
+            for n in sizes(scale, &[65536, 524288]) {
+                for alg in ALGS {
+                    s.add_run(&cost, alg, n, procs);
+                }
+            }
+        }
+        "fig12" | "f12" => {
+            let procs = scale.procs(16);
+            let cost = platform::paragon_hlrc(procs);
+            for n in sizes(scale, &[8192, 16384, 32768, 65536]) {
+                for alg in [Algorithm::Partree, Algorithm::Space] {
+                    s.add_run(&cost, alg, n, procs);
+                }
+            }
+        }
+        "fig13" | "f13" | "fig14" | "f14" => {
+            let procs = scale.procs(16);
+            let cost = platform::typhoon0_hlrc(procs);
+            for n in sizes(scale, &[8192, 16384, 32768, 65536]) {
+                for alg in ALGS {
+                    s.add_run(&cost, alg, n, procs);
+                }
+            }
+        }
+        "sc442" | "sc" => {
+            let procs = scale.procs(16);
+            let cost = platform::typhoon0_sc(procs);
+            for alg in ALGS {
+                s.add_run(&cost, alg, scale.size(16384), procs);
+            }
+        }
+        "fig15" | "f15" => {
+            let n = scale.size(65536);
+            let procs = scale.procs(16);
+            for cost in [platform::typhoon0_hlrc(procs), platform::origin2000(procs)] {
+                for alg in ALGS {
+                    s.add_run(&cost, alg, n, procs);
+                }
+            }
+        }
+        _ => unreachable!("unknown experiment {name}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_are_deduplicated() {
+        let mut s = SweepScheduler::new();
+        let cost = platform::challenge(4);
+        s.add_run(&cost, Algorithm::Space, 512, 4);
+        s.add_run(&cost, Algorithm::Space, 512, 4);
+        // 1 seq + 1 par.
+        assert_eq!(s.len(), 2);
+        s.add_run(&cost, Algorithm::Partree, 512, 4);
+        // Shared seq baseline: only the par job is new.
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn full_matrix_is_enumerated_and_shared_configs_collapse() {
+        let s = all_jobs(ExperimentScale::Tiny);
+        assert!(!s.is_empty());
+        // Figures 8 and 9 (and 13/14) share all their runs; the dedup set
+        // must therefore be much smaller than the naive enumeration.
+        let naive = 24 + 2 * (25 + 15) + 2 * (30 + 15) + 15 + 25 + 10 + 2 * 20 + 5 + 10;
+        assert!(
+            s.len() < naive,
+            "dedup had no effect: {} jobs of {naive} naive",
+            s.len()
+        );
+        for name in MATRIX_EXPERIMENTS {
+            let js = jobs_for(name, ExperimentScale::Tiny).expect("known name");
+            assert!(!js.is_empty(), "{name} enumerated no jobs");
+        }
+        assert!(jobs_for("treebuild", ExperimentScale::Tiny).is_none());
+        assert!(jobs_for("nope", ExperimentScale::Tiny).is_none());
+    }
+
+    #[test]
+    fn concurrent_sweep_prewarms_deterministic_baselines() {
+        // Prewarm a tiny slice of the matrix on 2 scheduler threads, then
+        // verify a cached single-processor baseline (which is bitwise
+        // deterministic) equals a direct recomputation.
+        let cost = platform::challenge(2);
+        let mut s = SweepScheduler::new();
+        s.add_seq(&cost, 320);
+        for alg in [Algorithm::Partree, Algorithm::Space] {
+            s.add_run(&cost, alg, 256, 2);
+        }
+        // 2 distinct seq baselines + 2 par runs (the shared 256 baseline
+        // dedups).
+        let executed = s.run(2);
+        assert_eq!(executed, 4);
+        let (total, tree) = seq_time_on_platform(&cost, 256);
+        let machine = ssmp::Machine::new(cost.clone(), 1);
+        let bodies = Model::Plummer.generate(256, crate::runner::WORKLOAD_SEED);
+        let direct = run_simulation(&machine, &SimConfig::new(Algorithm::Partree), &bodies);
+        assert_eq!(total, direct.total_time());
+        assert_eq!(tree, direct.tree_time());
+        // The parallel runs landed in the cache too (hits return clones).
+        let hit = run_cached(&cost, Algorithm::Space, 256, 2);
+        assert_eq!(hit.seq_cycles, total);
+    }
+}

@@ -114,6 +114,38 @@ fn recursive_force_ablation_race_free() {
 }
 
 #[test]
+fn reused_engine_back_to_back_jobs_race_free() {
+    // A SimEngine keeps its worker pool and shared allocations alive across
+    // jobs; the detector's clocks persist at the environment level, and each
+    // run ends with a barrier, so successive sessions chain correctly. Two
+    // back-to-back SPACE jobs on reused state plus a LOCAL job must all be
+    // certified — a reset() that skipped a shared array would surface here
+    // as an unordered write/read pair across jobs.
+    let mut engine = SimEngine::new(CheckedEnv::new(NativeEnv::new(4)));
+    let bodies = Model::Plummer.generate(96, 1998);
+    for alg in [Algorithm::Space, Algorithm::Space, Algorithm::Local] {
+        let mut cfg = SimConfig::new(alg);
+        cfg.k = 4;
+        cfg.warmup_steps = 1;
+        cfg.measured_steps = 2;
+        let stats = engine.run(&cfg, &bodies);
+        stats.assert_valid();
+    }
+    let races = engine.env().races();
+    assert!(
+        races.is_empty(),
+        "reused engine: {} race(s), first:\n  {}",
+        races.len(),
+        races
+            .iter()
+            .take(8)
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("\n  ")
+    );
+}
+
+#[test]
 fn seeded_race_is_caught() {
     // Unsynchronized read-modify-write on a plain shared word: the classic
     // lost-update race. The detector must report it.

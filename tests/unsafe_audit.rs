@@ -22,6 +22,7 @@ const WHITELIST: &[&str] = &[
     "crates/core/src/shared.rs",
     "crates/core/src/tree/",
     "crates/core/src/env.rs",
+    "crates/core/src/harness.rs",
     "crates/ssmp/src/machine.rs",
 ];
 
