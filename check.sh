@@ -16,6 +16,13 @@ cargo test --offline -q --test unsafe_audit
 echo "== race-freedom matrix =="
 cargo test --offline -q --test race_freedom
 
+echo "== schedule-exploration verify lane =="
+# Seeded + round-robin schedule matrix over all five algorithms, plus the
+# publication-order mutation self-test (the explorer must find the
+# re-introduced bug). The bounded-exhaustive pass is #[ignore]d here and
+# runs on the paper-scale line below.
+cargo test --offline -q --test schedule_matrix --test schedule_mutation
+
 echo "== build (release) =="
 cargo build --offline --release
 
@@ -24,6 +31,7 @@ cargo test --offline -q --workspace
 
 echo "== paper-scale ignored suites =="
 cargo test --offline -q --test platform_behavior --test race_freedom -- --ignored
+cargo test --offline -q --test schedule_matrix -- --ignored
 
 echo "== repro smoke run (batched sweep, --jobs 2) + emitted-JSON schema checks =="
 SMOKE_DIR="$(mktemp -d)"

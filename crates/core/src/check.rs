@@ -626,6 +626,16 @@ impl<E: Env> Env for CheckedEnv<E> {
         self.inner.phase_end(&mut ctx.inner, phase, step);
     }
 
+    fn worker_begin(&self, proc: usize) {
+        // The scheduler gate (if any) lives below the detector; a worker
+        // must not be admitted past it unannounced.
+        self.inner.worker_begin(proc);
+    }
+
+    fn worker_end(&self, proc: usize) {
+        self.inner.worker_end(proc);
+    }
+
     fn now(&self, ctx: &Self::Ctx) -> u64 {
         self.inner.now(&ctx.inner)
     }

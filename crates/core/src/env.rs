@@ -16,9 +16,8 @@
 //! an SGI Challenge, an Intel Paragon under HLRC shared virtual memory, or a
 //! Typhoon-zero, reproducing the paper's cross-platform study.
 
-use crate::sync::RawLock;
+use crate::sync::{RawLock, SenseBarrier};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
 use std::time::Instant;
 
 /// A virtual address in the simulated shared address space.
@@ -230,6 +229,23 @@ pub trait Env: Sync {
     /// [`Env::phase_begin`].
     fn phase_end(&self, _ctx: &mut Self::Ctx, _phase: Phase, _step: u32) {}
 
+    /// Scheduling hook: the worker thread for processor `proc` is about to
+    /// start executing a submitted SPMD job. Called by
+    /// [`crate::harness::WorkerPool::run`] on the worker thread, before
+    /// [`Env::make_ctx`]. Execution environments ignore it (the default is a
+    /// no-op); the controlled scheduler ([`crate::sched::SchedEnv`]) uses it
+    /// as the registration rendezvous that gates workers behind the
+    /// scheduler. Wrapper environments must forward it to their inner
+    /// environment.
+    fn worker_begin(&self, _proc: usize) {}
+
+    /// Scheduling hook: the worker thread for processor `proc` has finished
+    /// (or unwound from) its SPMD job. Always called, even when the job
+    /// panicked, so a controlled scheduler can hand control to the remaining
+    /// workers. Must pair with [`Env::worker_begin`]; wrapper environments
+    /// must forward it.
+    fn worker_end(&self, _proc: usize) {}
+
     /// Current time for this processor: wall nanoseconds (native) or
     /// simulated cycles (ssmp).
     fn now(&self, ctx: &Self::Ctx) -> u64;
@@ -270,7 +286,7 @@ pub fn lock_slot(id: usize, table: usize) -> usize {
 pub struct NativeEnv {
     procs: usize,
     locks: Box<[RawLock]>,
-    barrier: Barrier,
+    barrier: SenseBarrier,
     start: Instant,
     next_addr: AtomicU64,
 }
@@ -290,7 +306,7 @@ impl NativeEnv {
         NativeEnv {
             procs,
             locks,
-            barrier: Barrier::new(procs),
+            barrier: SenseBarrier::new(procs),
             start: Instant::now(),
             next_addr: AtomicU64::new(0x1000),
         }
@@ -464,6 +480,38 @@ mod tests {
         // The smallest legal table still separates the two ranges.
         assert_eq!(lock_slot(64, 65), 64);
         assert_eq!(lock_slot(129, 65), 64);
+    }
+
+    #[test]
+    fn colliding_ids_share_one_slot_and_still_exclude() {
+        // At the smallest legal table (65 entries: 64 reserved + 1 shared
+        // slot) every non-reserved id collides. Collision must degrade to
+        // contention, never to broken mutual exclusion.
+        const TABLE: usize = 65;
+        let ids = [64usize, 65, 1 << 16];
+        for id in ids {
+            assert_eq!(lock_slot(id, TABLE), 64, "id {id} must land in slot 64");
+        }
+        let locks: Vec<RawLock> = (0..TABLE).map(|_| RawLock::new()).collect();
+        let counter = AtomicU64::new(0);
+        let max_seen = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for id in ids {
+                let locks = &locks;
+                let counter = &counter;
+                let max_seen = &max_seen;
+                s.spawn(move || {
+                    for _ in 0..2_000 {
+                        locks[lock_slot(id, TABLE)].lock();
+                        let inside = counter.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(inside, Ordering::SeqCst);
+                        counter.fetch_sub(1, Ordering::SeqCst);
+                        locks[lock_slot(id, TABLE)].unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -16,9 +16,45 @@
 //! below sound, and that order one job's memory effects before the next
 //! job's (the engine's untimed `reset` writes included).
 
-use crate::env::Env;
+use crate::env::{Env, Phase};
 use std::any::Any;
+use std::cell::Cell;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+thread_local! {
+    /// The phase/step the current worker thread is executing, maintained by
+    /// [`crate::pipeline::StepPipeline::run_step`]. Read when enriching a
+    /// propagated panic so schedule-exploration counterexamples name the
+    /// failing phase, not just the processor.
+    static WORKER_PHASE: Cell<Option<(Phase, u32)>> = const { Cell::new(None) };
+}
+
+/// Record (or clear, with `None`) the phase the calling worker thread is in.
+/// Purely diagnostic: consumed by the worker-panic enrichment below.
+pub fn set_worker_phase(phase: Option<(Phase, u32)>) {
+    WORKER_PHASE.with(|c| c.set(phase));
+}
+
+/// Rewrap a string-ish worker panic payload as
+/// `"worker <proc> [in <phase> phase of step <n>]: <original message>"`.
+/// Non-string payloads pass through untouched (never lose a typed payload).
+fn enrich_panic(proc: usize, payload: Box<dyn Any + Send>) -> Box<dyn Any + Send> {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        Some((*s).to_string())
+    } else {
+        payload.downcast_ref::<String>().cloned()
+    };
+    match msg {
+        Some(m) => {
+            let at = match WORKER_PHASE.with(|c| c.get()) {
+                Some((phase, step)) => format!(" in {phase} phase of step {step}"),
+                None => String::new(),
+            };
+            Box::new(format!("worker {proc}{at}: {m}"))
+        }
+        None => payload,
+    }
+}
 
 /// A type-erased pointer to the borrowed per-job closure. Only ever
 /// dereferenced by workers between job submission and job completion, while
@@ -134,9 +170,21 @@ impl WorkerPool {
             .map(|_| std::sync::Mutex::new(None))
             .collect();
         let call = |proc: usize| {
-            let mut ctx = env.make_ctx(proc);
-            let r = f(proc, &mut ctx);
-            *results[proc].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            // Bracket the job with the Env scheduling hooks. `worker_end`
+            // must run even when the job unwinds — a controlled scheduler
+            // ([`crate::sched::SchedEnv`]) otherwise waits forever for the
+            // departed worker — so the body is wrapped in its own
+            // catch/resume.
+            env.worker_begin(proc);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut ctx = env.make_ctx(proc);
+                let r = f(proc, &mut ctx);
+                *results[proc].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            }));
+            env.worker_end(proc);
+            if let Err(payload) = outcome {
+                std::panic::resume_unwind(payload);
+            }
         };
         let wide: &(dyn Fn(usize) + Sync) = &call;
         // SAFETY: `run` does not return until `remaining == 0`, i.e. until
@@ -211,6 +259,9 @@ fn worker_loop(proc: usize, shared: &PoolShared) {
             last_seq = g.seq;
             g.job.expect("job set when seq advances")
         };
+        // A panic mid-phase leaves the thread-local set; clear it so a later
+        // job's failure is not attributed to a stale phase.
+        set_worker_phase(None);
         // SAFETY: the submitting `run` call keeps the pointee alive until
         // every worker reports completion below; see `WorkerPool::run`.
         let outcome =
@@ -218,7 +269,7 @@ fn worker_loop(proc: usize, shared: &PoolShared) {
         let mut g = shared.lock();
         if let Err(payload) = outcome {
             if g.panic.is_none() {
-                g.panic = Some(payload);
+                g.panic = Some(enrich_panic(proc, payload));
             }
         }
         g.remaining -= 1;
@@ -315,13 +366,55 @@ mod tests {
         }));
         let payload = caught.expect_err("panic must propagate");
         let msg = payload
-            .downcast_ref::<&str>()
-            .copied()
-            .unwrap_or("<non-str payload>");
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string payload>".to_string());
         assert!(msg.contains("boom from worker 1"), "payload lost: {msg}");
+        // The failing processor index is part of the propagated message.
+        assert!(msg.starts_with("worker 1"), "proc attribution lost: {msg}");
         // The pool must stay usable after a panicked job.
         let out = pool.run(&env, |proc, _ctx| proc);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pool_panics_carry_proc_and_phase() {
+        let env = NativeEnv::new(2);
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&env, |proc, _ctx| {
+                if proc == 1 {
+                    set_worker_phase(Some((Phase::Force, 3)));
+                    panic!("diverged");
+                }
+            })
+        }));
+        let msg = caught
+            .expect_err("panic must propagate")
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload");
+        assert!(
+            msg.contains("worker 1") && msg.contains("force phase of step 3"),
+            "attribution missing: {msg}"
+        );
+        // The stale phase must not leak into the next job's attribution.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&env, |proc, _ctx| {
+                if proc == 0 {
+                    panic!("early");
+                }
+            })
+        }));
+        let msg = caught
+            .expect_err("panic must propagate")
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload");
+        assert!(
+            msg.starts_with("worker 0:") && !msg.contains("phase"),
+            "stale phase leaked: {msg}"
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod partition;
 pub mod partition_orb;
 pub mod pipeline;
 pub mod rng;
+pub mod sched;
 pub mod seq_app;
 pub mod shared;
 pub mod sync;
@@ -64,6 +65,10 @@ pub mod prelude {
     pub use crate::harness::WorkerPool;
     pub use crate::math::{Aabb, Cube, Vec3};
     pub use crate::model::Model;
+    pub use crate::sched::{
+        explore, verify_matrix, CounterExample, Exploration, ExplorePlan, Finding, MatrixCell,
+        MatrixSpec, SchedConfig, SchedEnv, SchedStrategy, VerifyEnv,
+    };
     pub use crate::trace::TraceEnv;
     pub use crate::tree::{SeqTree, SharedTree, TreeLayout};
     pub use crate::world::World;

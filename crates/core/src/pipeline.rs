@@ -99,6 +99,10 @@ impl<E: Env> StepPipeline<E> {
         let mut sample = PhaseSample::default();
         for stage in &self.stages {
             let phase = stage.phase();
+            // Mark the phase on the worker thread so a panic anywhere in the
+            // stage is attributed to (proc, phase, step) when propagated out
+            // of the pool (see crate::harness::set_worker_phase).
+            crate::harness::set_worker_phase(Some((phase, step)));
             env.phase_begin(ctx, phase, step);
             let sub_time = stage.run(env, ctx, io, proc, step);
             env.phase_end(ctx, phase, step);
@@ -121,6 +125,7 @@ impl<E: Env> StepPipeline<E> {
             prev_stats = stats;
             prev_t = t;
         }
+        crate::harness::set_worker_phase(None);
         if measuring {
             rec.steps.push(sample);
         }

@@ -10,6 +10,9 @@
 //!   scoped, for lock tables indexed by runtime ids (the `Env` lock/unlock
 //!   contract). Built from `Mutex<bool>` + `Condvar`, so it is entirely safe
 //!   code and any thread may release it.
+//! * [`SenseBarrier`] — a reusable rendezvous barrier with an observable
+//!   generation counter and a `reset()` for reconfiguring the party count,
+//!   replacing `std::sync::Barrier` (which exposes neither).
 
 use std::sync::Condvar;
 use std::sync::Mutex as StdMutex;
@@ -88,6 +91,89 @@ impl Default for RawLock {
     }
 }
 
+struct BarrierState {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+}
+
+/// A reusable rendezvous barrier in the sense-reversal family: instead of a
+/// flipping boolean sense, each episode is identified by a monotonically
+/// increasing *generation* — a waiter records the generation at arrival and
+/// sleeps until it changes, so a thread from episode `g` can never be
+/// confused with one from `g+1` (the classic reuse hazard of counting
+/// barriers). The generation is observable, which the scheduling and
+/// divergence analyses in [`crate::sched`] rely on, and [`SenseBarrier::reset`]
+/// reconfigures the party count between sessions without losing the
+/// generation history.
+pub struct SenseBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl SenseBarrier {
+    pub fn new(parties: usize) -> SenseBarrier {
+        assert!(parties > 0, "barrier needs at least one party");
+        SenseBarrier {
+            state: Mutex::new(BarrierState {
+                parties,
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of parties that must arrive to release one episode.
+    pub fn parties(&self) -> usize {
+        self.state.lock().parties
+    }
+
+    /// Number of completed episodes so far.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().generation
+    }
+
+    /// Block until all parties have arrived; returns the (1-based)
+    /// generation this rendezvous completed.
+    pub fn wait(&self) -> u64 {
+        let mut s = self.state.lock();
+        s.arrived += 1;
+        if s.arrived == s.parties {
+            s.arrived = 0;
+            s.generation += 1;
+            let g = s.generation;
+            drop(s);
+            self.cv.notify_all();
+            g
+        } else {
+            let my_gen = s.generation;
+            while s.generation == my_gen {
+                s = match self.cv.wait(s) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+            s.generation
+        }
+    }
+
+    /// Reconfigure the barrier for a different party count. The generation
+    /// counter is deliberately preserved: episodes keep their global numbering
+    /// across sessions. Panics if any waiter is currently parked (resetting
+    /// under them would strand or double-release the episode).
+    pub fn reset(&self, parties: usize) {
+        assert!(parties > 0, "barrier needs at least one party");
+        let mut s = self.state.lock();
+        assert!(
+            s.arrived == 0,
+            "SenseBarrier::reset with {} waiter(s) parked",
+            s.arrived
+        );
+        s.parties = parties;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +226,87 @@ mod tests {
     #[should_panic(expected = "without a matching lock")]
     fn unpaired_unlock_panics() {
         RawLock::new().unlock();
+    }
+
+    #[test]
+    fn contended_lock_is_live() {
+        // Liveness under contention: a holder that re-acquires in a tight
+        // loop must not starve a single waiter forever. The waiter flips a
+        // flag once it gets through; the holder loops until it sees it.
+        let lock = std::sync::Arc::new(RawLock::new());
+        let got_in = std::sync::Arc::new(AtomicU64::new(0));
+        let l2 = lock.clone();
+        let g2 = got_in.clone();
+        let waiter = std::thread::spawn(move || {
+            l2.lock();
+            g2.store(1, Ordering::SeqCst);
+            l2.unlock();
+        });
+        let mut spins = 0u64;
+        while got_in.load(Ordering::SeqCst) == 0 {
+            lock.lock();
+            std::hint::spin_loop();
+            lock.unlock();
+            spins += 1;
+            assert!(
+                spins < 50_000_000,
+                "waiter starved by a re-acquiring holder"
+            );
+            if spins.is_multiple_of(1024) {
+                std::thread::yield_now();
+            }
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn sense_barrier_rendezvous_and_generations() {
+        let barrier = SenseBarrier::new(4);
+        let phase = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for round in 1..=3u64 {
+                        phase.fetch_add(1, Ordering::SeqCst);
+                        let gen = barrier.wait();
+                        assert_eq!(gen, round, "episode numbering must be global");
+                        // Everyone's pre-barrier increment is visible.
+                        assert!(phase.load(Ordering::SeqCst) >= 4 * round);
+                    }
+                });
+            }
+        });
+        assert_eq!(barrier.generation(), 3);
+    }
+
+    #[test]
+    fn sense_barrier_generation_survives_reset() {
+        // Generation reuse across reset(): a reconfigured barrier keeps the
+        // global episode numbering, so a stale generation snapshot can never
+        // match a post-reset episode.
+        let barrier = SenseBarrier::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| barrier.wait());
+            }
+        });
+        assert_eq!(barrier.generation(), 1);
+        barrier.reset(3);
+        assert_eq!(barrier.parties(), 3);
+        assert_eq!(barrier.generation(), 1, "reset must not rewind generations");
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| assert_eq!(barrier.wait(), 2));
+            }
+        });
+        assert_eq!(barrier.generation(), 2);
+    }
+
+    #[test]
+    fn sense_barrier_single_party_never_blocks() {
+        let barrier = SenseBarrier::new(1);
+        for round in 1..=5 {
+            assert_eq!(barrier.wait(), round);
+        }
     }
 }

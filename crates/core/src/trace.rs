@@ -459,6 +459,14 @@ impl<E: Env> Env for TraceEnv<E> {
         self.inner.phase_end(&mut ctx.inner, phase, step);
     }
 
+    fn worker_begin(&self, proc: usize) {
+        self.inner.worker_begin(proc);
+    }
+
+    fn worker_end(&self, proc: usize) {
+        self.inner.worker_end(proc);
+    }
+
     fn now(&self, ctx: &Self::Ctx) -> u64 {
         self.inner.now(&ctx.inner)
     }

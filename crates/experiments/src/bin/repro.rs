@@ -42,6 +42,15 @@
 //! timing regresses by more than `--max-regress` (default 0.25 = 25%); the
 //! pre-merge gate diffs a freshly generated BENCH_small.json against the
 //! committed one.
+//!
+//! `verify` runs the schedule-exploration verification matrix: every tree
+//! algorithm on a tiny workload under the controlled scheduler stacked with
+//! the dynamic race detector, across round-robin plus `--seeds` seeded
+//! schedules per processor count (`--procs`, default 2). `--exhaustive`
+//! adds a bounded-exhaustive plan; `--self-test` instead re-introduces a
+//! known publication-order bug behind a mutation flag and requires the
+//! explorer to find it. Non-zero exit on any non-certified cell, with a
+//! counterexample report (finding, schedule id, trace tail) for each.
 
 use bh_experiments::experiments;
 use bh_experiments::json::Json;
@@ -53,6 +62,7 @@ use std::io::Write;
 fn usage_text() -> String {
     format!(
         "usage: repro <experiment|all|matrix> [--scale {}] [--jobs <N>] [--json <path>] [--trace <path>]\n\
+         \x20      repro verify [--seeds <N>] [--procs <p,q,..>] [--exhaustive] [--self-test]\n\
          \x20      repro check-json <path>\n\
          \x20      repro check-trace <path>\n\
          \x20      repro check-same <a> <b>\n\
@@ -100,6 +110,10 @@ fn main() {
                 .get(2)
                 .unwrap_or_else(|| die("check-same needs <a> <b>"));
             check_same(a, b);
+            return;
+        }
+        "verify" => {
+            verify(&args[1..]);
             return;
         }
         "bench-diff" => {
@@ -255,6 +269,135 @@ fn main() {
         writeln!(f, "[\n{}\n]", objects.join(",\n")).expect("write json");
         eprintln!("[wrote {path}]");
     }
+}
+
+/// `repro verify` — run the schedule-exploration verification matrix: every
+/// algorithm under the controlled scheduler + race detector, across a set of
+/// schedules per (algorithm, procs, strategy) cell. Prints one row per cell
+/// and a full counterexample report (schedule id, finding, trace tail) for
+/// any defect; exits non-zero unless every cell certifies.
+fn verify(args: &[String]) {
+    use bh_core::prelude::*;
+    use bh_core::sched::{mutation, selftest};
+
+    let mut seeds = 10usize;
+    let mut procs: Vec<usize> = vec![2];
+    let mut exhaustive = false;
+    let mut self_test = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| die("--seeds needs a value"));
+                seeds = v
+                    .parse::<usize>()
+                    .ok()
+                    .unwrap_or_else(|| die(&format!("invalid --seeds '{v}'")));
+            }
+            "--procs" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| die("--procs needs a value"));
+                procs = v
+                    .split(',')
+                    .map(|p| {
+                        p.parse::<usize>()
+                            .ok()
+                            .filter(|p| (1..=8).contains(p))
+                            .unwrap_or_else(|| die(&format!("invalid --procs entry '{p}' (1..=8)")))
+                    })
+                    .collect();
+            }
+            "--exhaustive" => exhaustive = true,
+            "--self-test" => self_test = true,
+            extra => die(&format!("unexpected argument '{extra}'")),
+        }
+        i += 1;
+    }
+
+    if self_test {
+        // Prove the stack detects a known bug: re-introduce the
+        // publication-order mutation and require a data-race counterexample.
+        println!("verify --self-test: publication-order mutation kernel");
+        let clean = selftest::explore_publication_kernel();
+        mutation::set_early_forward_flush(true);
+        let mutant = selftest::explore_publication_kernel();
+        mutation::set_early_forward_flush(false);
+        println!(
+            "  baseline: {} schedule(s), {} defect(s), complete={}",
+            clean.schedules, clean.defects, clean.complete
+        );
+        println!(
+            "  mutant:   {} schedule(s), {} defect(s)",
+            mutant.schedules, mutant.defects
+        );
+        if let Some(ce) = mutant.counterexamples.first() {
+            print!("{ce}");
+        }
+        if !(clean.certified() && clean.complete) {
+            eprintln!("verify: FAILED — baseline kernel did not certify");
+            std::process::exit(1);
+        }
+        if mutant.defects == 0 {
+            eprintln!("verify: FAILED — mutation survived undetected: the explorer has regressed");
+            std::process::exit(1);
+        }
+        println!("verify --self-test: OK (mutation detected, baseline certified)");
+        return;
+    }
+
+    let mut spec = MatrixSpec::fast(seeds);
+    spec.procs = procs;
+    if exhaustive {
+        spec.plans.push(ExplorePlan::Exhaustive {
+            preemption_bound: 1,
+            max_schedules: 400,
+        });
+    }
+
+    let t0 = std::time::Instant::now();
+    let cells = bh_core::sched::verify_matrix(&spec);
+    println!(
+        "{:<8} {:>5}  {:<16} {:>9} {:>7} {:>9} {:>10}  result",
+        "algo", "procs", "plan", "schedules", "defects", "decisions", "max-ops"
+    );
+    let mut failed = 0usize;
+    for cell in &cells {
+        let e = &cell.exploration;
+        let result = if e.certified() { "ok" } else { "FAIL" };
+        println!(
+            "{:<8} {:>5}  {:<16} {:>9} {:>7} {:>9} {:>10}  {}",
+            format!("{:?}", cell.algorithm),
+            cell.procs,
+            cell.plan,
+            e.schedules,
+            e.defects,
+            e.max_decisions,
+            e.max_ops,
+            result
+        );
+        if !e.certified() {
+            failed += 1;
+            for ce in &e.counterexamples {
+                print!("{ce}");
+            }
+            if !e.lock_cycles.is_empty() {
+                println!("  lock-order cycles: {:?}", e.lock_cycles);
+            }
+        }
+    }
+    let schedules: usize = cells.iter().map(|c| c.exploration.schedules).sum();
+    eprintln!(
+        "[{} cell(s), {} schedule(s) in {:.1}s]",
+        cells.len(),
+        schedules,
+        t0.elapsed().as_secs_f64()
+    );
+    if failed > 0 {
+        eprintln!("verify: FAILED — {failed} cell(s) did not certify");
+        std::process::exit(1);
+    }
+    println!("verify: OK — all {} cell(s) certified", cells.len());
 }
 
 fn load(path: &str) -> Json {

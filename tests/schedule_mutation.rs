@@ -1,0 +1,88 @@
+//! Mutation test for the schedule explorer: re-introduce the publication-
+//! order bug fixed in PR 1 behind `sched::mutation` and assert the
+//! verification stack actually finds it.
+//!
+//! The bug: `insert_locked`'s subdivision path must defer `body_leaf`
+//! forwarding stores until `flush_forwards` runs after the replacement
+//! subtree is published under the parent lock. Storing them mid-build
+//! (the mutation) leaks pointers to leaves the builder is still writing:
+//! UPDATE's move phase follows `body_leaf` → `leaf_parent` and reads the
+//! leaf record under the *sub-cell's* lock — which the builder does not
+//! hold — so a later grow of that leaf races with the mover's read.
+//!
+//! In the full simulation the triggering geometry (a cross-processor body
+//! inside a leaf that overflows while its owner is being moved) is rare —
+//! native-timing runs reproduce it in well under half their trials, and
+//! seeded serialized schedules essentially never order the builder far
+//! enough ahead of the reader. The kernel in [`bh_core::sched::selftest`]
+//! instead drives the *real* mutated production path (`insert_locked` →
+//! `insert_private`) with a three-body geometry built so the leak is
+//! reachable, and bounded-exhaustive exploration guarantees the detecting
+//! schedule (builder publishes, reader follows the leaked pointer) is
+//! covered deterministically — no seed luck involved — while the same plan
+//! certifies the unmutated kernel clean and complete.
+//!
+//! This lives in its own integration-test binary because the mutation flag
+//! is process-global: sharing a binary with other tests would let the
+//! harness's parallel test threads observe the flag mid-flip.
+
+use bh_core::sched::{mutation, selftest};
+
+/// One test covering both polarities so ordering is fixed: the clean
+/// baseline must certify, then the mutated kernel must be caught by the
+/// same bounded-exhaustive budget.
+#[test]
+fn explorer_finds_reintroduced_publication_order_bug() {
+    assert!(
+        !mutation::early_forward_flush(),
+        "mutation flag leaked in from another test"
+    );
+
+    // Baseline: deferred flushing, the whole bounded space certifies.
+    let clean = selftest::explore_publication_kernel();
+    assert!(
+        clean.certified(),
+        "baseline kernel must certify with the mutation off: {:?}",
+        clean.counterexamples.first().map(|c| c.detail.clone())
+    );
+    assert!(
+        clean.complete,
+        "kernel schedule space must drain within budget ({} schedules)",
+        clean.schedules
+    );
+
+    // Mutant: early forwarding stores, same exploration budget.
+    mutation::set_early_forward_flush(true);
+    let mutant = selftest::explore_publication_kernel();
+    let injections = mutation::injections(); // read before the reset below
+    mutation::set_early_forward_flush(false);
+
+    assert!(
+        injections > 0,
+        "mutated path never executed — the kernel no longer subdivides"
+    );
+    assert!(
+        mutant.defects > 0,
+        "publication-order mutation survived {} schedules undetected",
+        mutant.schedules
+    );
+    assert!(
+        mutant.counterexamples.iter().any(|c| c.kind == "data-race"),
+        "expected a data-race counterexample, got: {:?}",
+        mutant
+            .counterexamples
+            .iter()
+            .map(|c| c.kind.clone())
+            .collect::<Vec<_>>()
+    );
+    // The counterexample carries its schedule trace for reproduction.
+    let ce = mutant
+        .counterexamples
+        .iter()
+        .find(|c| c.kind == "data-race")
+        .unwrap();
+    assert!(
+        !ce.trace.is_empty() && !ce.detail.is_empty(),
+        "counterexample missing its report: {ce}"
+    );
+}

@@ -13,6 +13,15 @@
 //! code does not trip it, but it has no full parser — if it ever
 //! misclassifies a line, adjust the code (or the whitelist) rather than the
 //! scanner.
+//!
+//! A second audit enforces the *synchronization* confinement that the
+//! verification stack depends on: production code may not reach for
+//! `std::sync` / `std::thread` directly — all synchronization and shared
+//! memory must flow through the [`Env`] trait, or `SchedEnv`'s schedule
+//! exploration and `CheckedEnv`'s race detection silently lose sight of it.
+//! Only the modules that *implement* that layer (and the host-side batch
+//! scheduler) are whitelisted; `#[cfg(test)]` modules are exempt because
+//! unit tests drive the layer from outside it.
 
 use std::path::{Path, PathBuf};
 
@@ -24,6 +33,21 @@ const WHITELIST: &[&str] = &[
     "crates/core/src/env.rs",
     "crates/core/src/harness.rs",
     "crates/ssmp/src/machine.rs",
+];
+
+/// Modules allowed to use `std::sync` / `std::thread` directly: the layer
+/// that implements the `Env` abstraction (plus the host-side experiment
+/// scheduler, which manages OS processes rather than simulated procs).
+/// Everything else must synchronize through `Env`, where the schedule
+/// explorer and race checker can see it.
+const SYNC_WHITELIST: &[&str] = &[
+    "crates/core/src/sync.rs",
+    "crates/core/src/env.rs",
+    "crates/core/src/harness.rs",
+    "crates/core/src/shared.rs",
+    "crates/core/src/sched.rs",
+    "crates/ssmp/src/machine.rs",
+    "crates/experiments/src/sweep.rs",
 ];
 
 /// Crate roots that must opt in to `deny(unsafe_op_in_unsafe_fn)`.
@@ -129,6 +153,25 @@ fn is_whitelisted(rel: &str) -> bool {
     })
 }
 
+/// Scan one file for direct `std::sync` / `std::thread` references in
+/// production code. Scanning stops at the first `#[cfg(test)]` attribute:
+/// by repo convention the unit-test module is the last item in a file, and
+/// test code legitimately uses host threads to exercise the `Env` layer
+/// from outside.
+fn scan_sync(src: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let code = code_portion(raw);
+        if code.contains("#[cfg(test)]") {
+            break;
+        }
+        if code.contains("std::sync") || code.contains("std::thread") {
+            hits.push(i + 1);
+        }
+    }
+    hits
+}
+
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
@@ -194,6 +237,45 @@ fn workspace_unsafe_is_whitelisted_and_documented() {
     );
 }
 
+/// All synchronization in production code flows through `Env`. A direct
+/// `std::sync` / `std::thread` use outside the layer that implements the
+/// abstraction is invisible to `SchedEnv` (schedule exploration cannot
+/// interleave at it) and to `CheckedEnv` (it creates happens-before edges
+/// the detector never sees) — so it is a correctness hole in the entire
+/// verification stack, not a style nit.
+#[test]
+fn production_code_synchronizes_only_through_env() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for sub in ["crates", "src"] {
+        collect_rs_files(&root.join(sub), &mut files);
+    }
+    let mut failures = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        if SYNC_WHITELIST.contains(&rel.as_str()) {
+            continue;
+        }
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+        for line in scan_sync(&src) {
+            failures.push(format!(
+                "{rel}:{line}: direct std::sync / std::thread use outside the Env layer"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "sync confinement audit failed:\n  {}\nRoute the synchronization through the Env trait so \
+         the schedule explorer and race checker can observe it, or (deliberately) extend \
+         SYNC_WHITELIST in tests/unsafe_audit.rs.",
+        failures.join("\n  ")
+    );
+}
+
 #[test]
 fn crate_roots_deny_unsafe_op_in_unsafe_fn() {
     let root = repo_root();
@@ -248,6 +330,15 @@ fn scanner_safety_window_is_bounded() {
 fn scanner_ignores_comments_and_strings() {
     let src = "// unsafe in a comment\nlet s = \"unsafe in a string\";\n/// docs about unsafe\nlet unsafety = 1; // not the keyword\n";
     assert_eq!(scan_source(src, false), vec![]);
+}
+
+#[test]
+fn sync_scanner_flags_production_uses_only() {
+    let src = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }\n\
+               // std::sync in a comment is fine\n\
+               let s = \"std::thread in a string\";\n\
+               #[cfg(test)]\nmod tests {\n    use std::sync::Arc; // exempt\n}\n";
+    assert_eq!(scan_sync(src), vec![1, 2]);
 }
 
 #[test]
