@@ -43,6 +43,14 @@ REPRO="$PWD/target/release/repro"
 "$REPRO" check-json "$SMOKE_DIR/BENCH_tiny.json"
 "$REPRO" check-trace "$SMOKE_DIR/trace.json"
 
+echo "== report lane (attributed telemetry + scaling analysis) =="
+# Smoke-run the scaling/analysis subsystem and schema-check what it emits;
+# check-json also re-derives the attribution tiling property from the
+# report_comm records alone. The schema-drift test (every emitted metric
+# key covered by the validator) runs with the library tests above.
+(cd "$SMOKE_DIR" && "$REPRO" report --scale tiny >/dev/null)
+"$REPRO" check-json "$SMOKE_DIR/REPORT_tiny.json"
+
 echo "== sweep determinism gate (--jobs 2 vs --jobs 1) =="
 # Single-processor runs are bitwise deterministic: table1 must emit
 # byte-identical JSON whatever the scheduler width. Multi-processor simulated

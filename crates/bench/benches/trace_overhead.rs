@@ -3,10 +3,16 @@
 //! per-processor buffers are only touched at phase boundaries and lock
 //! acquires), so the two groups should be within noise of each other for
 //! the lock-free algorithms and within a few percent for ORIG.
+//!
+//! The `attr_overhead` group measures the same property for per-region
+//! attribution on a simulated [`Machine`]: enabling it adds one region
+//! lookup per accounted miss, which must stay under 5% of native wall
+//! time relative to the plain machine.
 
 use bh_bench::workload;
 use bh_core::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssmp::{platform, Machine};
 
 fn step_config(alg: Algorithm) -> SimConfig {
     let mut cfg = SimConfig::new(alg);
@@ -37,5 +43,35 @@ fn bench_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trace_overhead);
+fn bench_attr_overhead(c: &mut Criterion) {
+    let n = 20_000;
+    let procs = 4;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("attr_overhead");
+    group.sample_size(10);
+    for alg in [Algorithm::Orig, Algorithm::Space] {
+        group.bench_with_input(BenchmarkId::new("plain", alg.name()), &alg, |b, &alg| {
+            let cfg = step_config(alg);
+            b.iter(|| {
+                let machine = Machine::new(platform::origin2000(procs), procs);
+                run_simulation(&machine, &cfg, &bodies)
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("attributed", alg.name()),
+            &alg,
+            |b, &alg| {
+                let cfg = step_config(alg);
+                b.iter(|| {
+                    let machine =
+                        Machine::new(platform::origin2000(procs), procs).with_attribution();
+                    run_simulation(&machine, &cfg, &bodies)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead, bench_attr_overhead);
 criterion_main!(benches);

@@ -111,6 +111,11 @@ pub struct ProcRecord {
     /// protocol activity on this processor (`time` equals the summed phase
     /// times of [`ProcRecord::steps`]).
     pub phases: [CtxStats; 4],
+    /// The same per-phase deltas kept per measured step (parallel to
+    /// [`ProcRecord::steps`]): entry `s` holds step `s`'s delta for each
+    /// phase, so run-level aggregates can be decomposed into a time series.
+    /// Summing over steps reproduces [`ProcRecord::phases`] exactly.
+    pub step_stats: Vec<[CtxStats; 4]>,
     /// Lock acquisitions during the measured tree-build phases (Figure 15).
     pub tree_locks: u64,
     /// Remote misses during the measured tree-build phases.
@@ -243,12 +248,135 @@ impl RunStats {
         }
     }
 
+    /// Number of measured steps actually recorded (0 for an empty run).
+    pub fn steps_recorded(&self) -> usize {
+        self.procs_records
+            .iter()
+            .map(|r| r.steps.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-measured-step time of one phase: entry `s` is the maximum over
+    /// processors of step `s`'s phase time (the step's critical path —
+    /// post-barrier these agree across processors).
+    pub fn step_phase_times(&self, phase: Phase) -> Vec<u64> {
+        (0..self.steps_recorded())
+            .map(|s| {
+                self.procs_records
+                    .iter()
+                    .filter_map(|r| r.steps.get(s))
+                    .map(|smp| match phase {
+                        Phase::Tree => smp.tree,
+                        Phase::Partition => smp.partition,
+                        Phase::Force => smp.force,
+                        Phase::Update => smp.update,
+                    })
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Per-measured-step total time (max over processors of the step's
+    /// summed phase times). Sums to [`RunStats::total_time`].
+    pub fn step_totals(&self) -> Vec<u64> {
+        (0..self.steps_recorded())
+            .map(|s| {
+                self.procs_records
+                    .iter()
+                    .filter_map(|r| r.steps.get(s))
+                    .map(PhaseSample::total)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Per-measured-step lock wait, summed over processors and phases.
+    pub fn step_lock_waits(&self) -> Vec<u64> {
+        self.step_counter(|c| c.lock_wait)
+    }
+
+    /// Per-measured-step barrier wait, summed over processors and phases.
+    pub fn step_barrier_waits(&self) -> Vec<u64> {
+        self.step_counter(|c| c.barrier_wait)
+    }
+
+    /// Per-measured-step count of some [`CtxStats`] field, summed over
+    /// processors and phases.
+    pub fn step_counter(&self, field: impl Fn(&CtxStats) -> u64) -> Vec<u64> {
+        (0..self.steps_recorded())
+            .map(|s| {
+                self.procs_records
+                    .iter()
+                    .filter_map(|r| r.step_stats.get(s))
+                    .flat_map(|phases| phases.iter().map(&field))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Per-measured-step tree-phase load imbalance (same definition as
+    /// [`RunStats::tree_imbalance`], per step instead of over the run).
+    pub fn step_tree_imbalance(&self) -> Vec<f64> {
+        (0..self.steps_recorded())
+            .map(|s| {
+                let work: Vec<u64> = self
+                    .procs_records
+                    .iter()
+                    .filter_map(|r| r.step_stats.get(s))
+                    .map(|phases| {
+                        let p = &phases[Phase::Tree.index()];
+                        p.time.saturating_sub(p.barrier_wait)
+                    })
+                    .collect();
+                let max = work.iter().max().copied().unwrap_or(0) as f64;
+                let avg = if work.is_empty() {
+                    0.0
+                } else {
+                    work.iter().sum::<u64>() as f64 / work.len() as f64
+                };
+                if avg == 0.0 {
+                    1.0
+                } else {
+                    max / avg
+                }
+            })
+            .collect()
+    }
+
     /// Panic unless the run validated.
     pub fn assert_valid(&self) {
         if let Some(e) = &self.validation_error {
             panic!("{} run failed validation: {e}", self.algorithm);
         }
     }
+}
+
+/// Nearest-rank percentile of an unsorted `u64` sample. `p` is in
+/// `[0, 100]`; the result is always an observed value (no interpolation),
+/// and `0` for an empty sample. Used for repeat-aware per-step summaries:
+/// pool the per-step series across repeats, then take p50/p99.
+pub fn percentile_u64(values: &[u64], p: f64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Nearest-rank percentile of an unsorted `f64` sample (`0.0` when empty).
+pub fn percentile_f64(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Run the complete application on `env` and return per-processor records.
@@ -316,6 +444,7 @@ pub(crate) fn execute<E: Env>(
             proc,
             steps: Vec::with_capacity(cfg.measured_steps),
             phases: [CtxStats::default(); 4],
+            step_stats: Vec::with_capacity(cfg.measured_steps),
             tree_locks: 0,
             tree_remote_misses: 0,
             tree_page_faults: 0,
@@ -365,4 +494,26 @@ pub(crate) fn execute<E: Env>(
         },
         state,
     )
+}
+
+#[cfg(test)]
+mod percentile_tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(percentile_u64(&[], 50.0), 0);
+        assert_eq!(percentile_u64(&[7], 50.0), 7);
+        assert_eq!(percentile_u64(&[7], 99.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_u64(&v, 50.0), 50);
+        assert_eq!(percentile_u64(&v, 99.0), 99);
+        assert_eq!(percentile_u64(&v, 100.0), 100);
+        assert_eq!(percentile_u64(&v, 0.0), 1);
+        // Unsorted input is handled.
+        assert_eq!(percentile_u64(&[30, 10, 20], 50.0), 20);
+        assert_eq!(percentile_f64(&[], 50.0), 0.0);
+        assert_eq!(percentile_f64(&[3.0, 1.0, 2.0], 50.0), 2.0);
+        assert_eq!(percentile_f64(&[3.0, 1.0, 2.0], 99.0), 3.0);
+    }
 }

@@ -66,7 +66,7 @@
 //! further sessions on the same environment (the final barrier orders
 //! everything before it against everything after).
 
-use crate::env::{CtxStats, Env, Phase, Placement, VAddr};
+use crate::env::{CtxStats, Env, Phase, Placement, Region, VAddr};
 use crate::sync::Mutex;
 use std::collections::HashMap;
 
@@ -480,6 +480,10 @@ impl<E: Env> Env for CheckedEnv<E> {
 
     fn alloc(&self, bytes: u64, align: u64, place: Placement) -> VAddr {
         self.inner.alloc(bytes, align, place)
+    }
+
+    fn tag_region(&self, base: VAddr, bytes: u64, region: Region) {
+        self.inner.tag_region(base, bytes, region)
     }
 
     fn read(&self, ctx: &mut Self::Ctx, addr: VAddr, bytes: u32) {

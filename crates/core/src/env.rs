@@ -87,6 +87,115 @@ impl std::fmt::Display for Phase {
     }
 }
 
+/// Named shared-data regions for attributed telemetry.
+///
+/// Every shared allocation the application makes belongs to one of these
+/// regions; allocators report the mapping through [`Env::tag_region`] and
+/// attribution-capable environments (the `ssmp` machine) then account each
+/// simulated miss, fault and lock wait to the region it hit. The variants
+/// mirror the data structures the paper's communication analysis talks
+/// about: tree cells, tree leaves, the tree allocator state, body SoA
+/// fields, the flat force-walk snapshot, and the partitioner's arrays.
+///
+/// Unregistered addresses fall into [`Region::Other`], so per-region
+/// counters always tile the aggregate counters exactly, whatever is tagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Body SoA state: positions, velocities, accelerations, masses.
+    Bodies,
+    /// Per-body metadata: work-cost estimates and body→leaf back-links.
+    BodyMeta,
+    /// Partition outputs: body ordering, zone boundaries, processor boxes.
+    Partition,
+    /// Partitioner scratch: SPACE frontier/count/cost/routing arrays.
+    PartitionScratch,
+    /// Internal tree cells: cell pool, child links, pending counters.
+    TreeCells,
+    /// Tree leaves: leaf pool, parent links, leaf bounding boxes.
+    TreeLeaves,
+    /// Tree allocator state: bump cursors, free lists, per-processor leaf
+    /// lists, the root pointer and root cube. Free-list lock waits are
+    /// attributed here (see [`Region::of_lock`]).
+    TreeAlloc,
+    /// Flat SoA tree snapshot used by the force walk.
+    FlatTree,
+    /// Anything not (yet) tagged: harness scratch, ad-hoc test
+    /// allocations. Keeping a catch-all row makes the per-region tiling
+    /// property unconditional.
+    Other,
+}
+
+impl Region {
+    /// All regions in display order; `ALL[r.index()] == r`.
+    pub const ALL: [Region; Region::COUNT] = [
+        Region::Bodies,
+        Region::BodyMeta,
+        Region::Partition,
+        Region::PartitionScratch,
+        Region::TreeCells,
+        Region::TreeLeaves,
+        Region::TreeAlloc,
+        Region::FlatTree,
+        Region::Other,
+    ];
+
+    /// Number of regions (length of [`Region::ALL`]).
+    pub const COUNT: usize = 9;
+
+    /// Stable index into per-region arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Region::Bodies => 0,
+            Region::BodyMeta => 1,
+            Region::Partition => 2,
+            Region::PartitionScratch => 3,
+            Region::TreeCells => 4,
+            Region::TreeLeaves => 5,
+            Region::TreeAlloc => 6,
+            Region::FlatTree => 7,
+            Region::Other => 8,
+        }
+    }
+
+    /// Stable lower-case name, used in report rows and JSON records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Bodies => "bodies",
+            Region::BodyMeta => "body-meta",
+            Region::Partition => "partition",
+            Region::PartitionScratch => "partition-scratch",
+            Region::TreeCells => "tree-cells",
+            Region::TreeLeaves => "tree-leaves",
+            Region::TreeAlloc => "tree-alloc",
+            Region::FlatTree => "flat-tree",
+            Region::Other => "other",
+        }
+    }
+
+    /// The region whose data a lock id protects: ids below
+    /// [`crate::tree::types::RESERVED_LOCKS`] are the tree allocator's
+    /// free-list locks, everything above is a per-cell/leaf node lock
+    /// (see `NodeRef::lock_id`). Lock acquisitions and waits are
+    /// attributed to the protected structure, which is exactly the
+    /// paper's "time spent locking hot cells" signal.
+    #[inline]
+    pub fn of_lock(id: usize) -> Region {
+        const RESERVED: usize = 64; // == crate::tree::types::RESERVED_LOCKS
+        if id < RESERVED {
+            Region::TreeAlloc
+        } else {
+            Region::TreeCells
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Per-context statistics an environment can report after a run.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct CtxStats {
@@ -215,6 +324,16 @@ pub trait Env: Sync {
 
     /// Global barrier across all processors.
     fn barrier(&self, ctx: &mut Self::Ctx);
+
+    /// Observability hook: the address range `[base, base + bytes)` holds
+    /// the shared data structure named by `region`. Called by allocating
+    /// containers ([`crate::world::World`], [`crate::tree::SharedTree`],
+    /// [`crate::tree::FlatTree`]) right after [`Env::alloc`], from the
+    /// set-up thread before workers start. Execution environments ignore it
+    /// (the default is a no-op and charges nothing); attribution-capable
+    /// environments record the mapping so per-region communication counters
+    /// can be reported. Wrapper environments must forward it.
+    fn tag_region(&self, _base: VAddr, _bytes: u64, _region: Region) {}
 
     /// Observability hook: processor `ctx` is entering `phase` of step
     /// `step` (warm-up steps included). Emitted by [`crate::app`] at every
@@ -562,6 +681,23 @@ mod tests {
             assert_eq!(format!("{p}"), p.name());
         }
         assert_eq!(Phase::Tree.name(), "tree");
+    }
+
+    #[test]
+    fn region_metadata_is_consistent() {
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(format!("{r}"), r.name());
+        }
+        let mut names: Vec<&str> = Region::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Region::COUNT, "duplicate region names");
+        // Free-list locks protect the allocator, node locks the cells.
+        assert_eq!(Region::of_lock(0), Region::TreeAlloc);
+        assert_eq!(Region::of_lock(63), Region::TreeAlloc);
+        assert_eq!(Region::of_lock(64), Region::TreeCells);
+        assert_eq!(Region::of_lock(1 << 20), Region::TreeCells);
     }
 
     #[test]

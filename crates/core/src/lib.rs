@@ -56,20 +56,25 @@ pub mod world;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::algorithms::Algorithm;
-    pub use crate::app::{run_simulation, run_simulation_with_state, RunStats, SimConfig};
+    pub use crate::app::{
+        percentile_f64, percentile_u64, run_simulation, run_simulation_with_state, RunStats,
+        SimConfig,
+    };
     pub use crate::body::Body;
     pub use crate::check::{CheckedEnv, Granularity, RaceReport};
     pub use crate::engine::SimEngine;
-    pub use crate::env::{CtxStats, Env, NativeEnv, Phase, Placement};
+    pub use crate::env::{CtxStats, Env, NativeEnv, Phase, Placement, Region};
     pub use crate::force::ForceParams;
     pub use crate::harness::WorkerPool;
     pub use crate::math::{Aabb, Cube, Vec3};
     pub use crate::model::Model;
+    pub use crate::shared::RegionMap;
+
     pub use crate::sched::{
         explore, verify_matrix, CounterExample, Exploration, ExplorePlan, Finding, MatrixCell,
         MatrixSpec, SchedConfig, SchedEnv, SchedStrategy, VerifyEnv,
     };
-    pub use crate::trace::TraceEnv;
+    pub use crate::trace::{StepPhaseRow, TraceEnv};
     pub use crate::tree::{SeqTree, SharedTree, TreeLayout};
     pub use crate::world::World;
 }

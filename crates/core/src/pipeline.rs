@@ -97,6 +97,7 @@ impl<E: Env> StepPipeline<E> {
         let mut prev_stats = env.stats(ctx);
         let mut prev_t = env.now(ctx);
         let mut sample = PhaseSample::default();
+        let mut step_stats = [crate::env::CtxStats::default(); 4];
         for stage in &self.stages {
             let phase = stage.phase();
             // Mark the phase on the worker thread so a panic anywhere in the
@@ -112,6 +113,7 @@ impl<E: Env> StepPipeline<E> {
                 let mut delta = stats.delta_since(&prev_stats);
                 delta.time = t - prev_t;
                 *sample.phase_mut(phase) += delta.time;
+                step_stats[phase.index()].accumulate(&delta);
                 rec.phases[phase.index()].accumulate(&delta);
                 rec.barrier_wait += delta.barrier_wait;
                 if phase == Phase::Tree {
@@ -128,6 +130,7 @@ impl<E: Env> StepPipeline<E> {
         crate::harness::set_worker_phase(None);
         if measuring {
             rec.steps.push(sample);
+            rec.step_stats.push(step_stats);
         }
     }
 }

@@ -84,7 +84,7 @@
 use crate::algorithms::Algorithm;
 use crate::app::{run_simulation, SimConfig};
 use crate::check::{CheckedEnv, RaceReport};
-use crate::env::{CtxStats, Env, NativeEnv, Phase, Placement, VAddr};
+use crate::env::{CtxStats, Env, NativeEnv, Phase, Placement, Region, VAddr};
 use crate::model::Model;
 use crate::rng::SmallRng;
 use crate::sync::Mutex;
@@ -883,6 +883,10 @@ impl<E: Env> Env for SchedEnv<E> {
 
     fn alloc(&self, bytes: u64, align: u64, place: Placement) -> VAddr {
         self.inner.alloc(bytes, align, place)
+    }
+
+    fn tag_region(&self, base: VAddr, bytes: u64, region: Region) {
+        self.inner.tag_region(base, bytes, region)
     }
 
     fn read(&self, ctx: &mut Self::Ctx, addr: VAddr, bytes: u32) {

@@ -22,9 +22,78 @@
 //! tree "fights the borrow checker": the unsafety is confined to this module
 //! and [`crate::tree`], with the contract stated here.
 
-use crate::env::{Env, Placement, VAddr};
+use crate::env::{Env, Placement, Region, VAddr};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// The region registry: an index from virtual address ranges to the
+/// [`Region`] that owns them.
+///
+/// Allocating containers report their ranges through [`Env::tag_region`];
+/// attribution-capable environments collect the mappings in a `RegionMap`
+/// and consult it on every simulated miss or fault. The map is built
+/// single-threaded during world/tree setup and then only read, so lookups
+/// are a lock-free binary search over sorted disjoint ranges.
+#[derive(Debug, Default, Clone)]
+pub struct RegionMap {
+    /// Sorted, pairwise-disjoint `(base, end, region)` triples.
+    ranges: Vec<(VAddr, VAddr, Region)>,
+}
+
+impl RegionMap {
+    pub fn new() -> Self {
+        RegionMap { ranges: Vec::new() }
+    }
+
+    /// Register `[base, base + bytes)` as belonging to `region`.
+    ///
+    /// Ranges must not overlap existing entries (allocators hand out
+    /// disjoint ranges, so an overlap is a tagging bug); re-tagging an
+    /// identical range with the same region is idempotent.
+    pub fn insert(&mut self, base: VAddr, bytes: u64, region: Region) {
+        if bytes == 0 {
+            return;
+        }
+        let end = base + bytes;
+        let i = self.ranges.partition_point(|&(b, _, _)| b < base);
+        if let Some(&(b, e, r)) = self.ranges.get(i) {
+            if b == base && e == end && r == region {
+                return;
+            }
+        }
+        let clear_left = i == 0 || self.ranges[i - 1].1 <= base;
+        let clear_right = i == self.ranges.len() || end <= self.ranges[i].0;
+        assert!(
+            clear_left && clear_right,
+            "region tag [{base:#x}, {end:#x}) = {region} overlaps an existing range"
+        );
+        self.ranges.insert(i, (base, end, region));
+    }
+
+    /// The region owning `addr`; [`Region::Other`] for untagged addresses.
+    #[inline]
+    pub fn lookup(&self, addr: VAddr) -> Region {
+        let i = self.ranges.partition_point(|&(b, _, _)| b <= addr);
+        match i.checked_sub(1).map(|j| self.ranges[j]) {
+            Some((_, end, region)) if addr < end => region,
+            _ => Region::Other,
+        }
+    }
+
+    /// Number of registered ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Iterate over `(base, end, region)` triples in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (VAddr, VAddr, Region)> + '_ {
+        self.ranges.iter().copied()
+    }
+}
 
 /// A fixed-length shared array of `Copy` data. See the module docs for the
 /// soundness contract.
@@ -77,6 +146,12 @@ impl<T: Copy> SharedVec<T> {
     #[inline]
     pub fn stride(&self) -> u32 {
         self.stride as u32
+    }
+
+    /// Report this array's address range to the environment as `region`
+    /// (see [`Env::tag_region`]). Called once from setup code.
+    pub fn tag<E: Env>(&self, env: &E, region: Region) {
+        env.tag_region(self.base, self.stride * self.slots.len() as u64, region);
     }
 
     /// Timed read of element `i`.
@@ -179,6 +254,11 @@ impl SharedAtomicVec {
         self.base + 4 * i as u64
     }
 
+    /// Report this array's address range as `region`; see [`SharedVec::tag`].
+    pub fn tag<E: Env>(&self, env: &E, region: Region) {
+        env.tag_region(self.base, 4 * self.slots.len() as u64, region);
+    }
+
     /// Timed atomic fetch-add.
     #[inline]
     pub fn fetch_add<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, v: u32) -> u32 {
@@ -253,6 +333,11 @@ impl SharedAtomicVec64 {
     #[inline]
     pub fn addr(&self, i: usize) -> VAddr {
         self.base + 8 * i as u64
+    }
+
+    /// Report this array's address range as `region`; see [`SharedVec::tag`].
+    pub fn tag<E: Env>(&self, env: &E, region: Region) {
+        env.tag_region(self.base, 8 * self.slots.len() as u64, region);
     }
 
     #[inline]
@@ -416,6 +501,37 @@ mod tests {
         assert_eq!(d.addr(0) % 4, 0);
         let e = SharedAtomicVec64::new(&env, 3, 0, Placement::Global);
         assert_eq!(e.addr(0) % 8, 0);
+    }
+
+    #[test]
+    fn region_map_lookup_and_boundaries() {
+        let mut m = RegionMap::new();
+        m.insert(0x1000, 0x100, Region::Bodies);
+        m.insert(0x3000, 0x10, Region::TreeCells);
+        m.insert(0x2000, 0x80, Region::FlatTree);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.lookup(0x0fff), Region::Other);
+        assert_eq!(m.lookup(0x1000), Region::Bodies);
+        assert_eq!(m.lookup(0x10ff), Region::Bodies);
+        assert_eq!(m.lookup(0x1100), Region::Other);
+        assert_eq!(m.lookup(0x2000), Region::FlatTree);
+        assert_eq!(m.lookup(0x3008), Region::TreeCells);
+        assert_eq!(m.lookup(0x3010), Region::Other);
+        // Ranges come back sorted regardless of insertion order.
+        let bases: Vec<u64> = m.iter().map(|(b, _, _)| b).collect();
+        assert_eq!(bases, vec![0x1000, 0x2000, 0x3000]);
+        // Identical re-tag is idempotent; zero-length tags are dropped.
+        m.insert(0x1000, 0x100, Region::Bodies);
+        m.insert(0x9000, 0, Region::Partition);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn region_map_rejects_overlap() {
+        let mut m = RegionMap::new();
+        m.insert(0x1000, 0x100, Region::Bodies);
+        m.insert(0x10ff, 0x10, Region::TreeCells);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! buffer (an uncontended mutex) only at phase boundaries and lock
 //! acquires.
 
-use crate::env::{CtxStats, Env, Phase, Placement, VAddr};
+use crate::env::{CtxStats, Env, Phase, Placement, Region, VAddr};
 use crate::sync::Mutex;
 use std::collections::HashMap;
 
@@ -49,6 +49,22 @@ pub struct SpanRecord {
     pub end: u64,
     /// Statistics delta across the span (`time` equals `end - start`).
     pub stats: CtxStats,
+}
+
+/// One (step, phase) entry of the per-step time series
+/// ([`TraceEnv::step_series`]), aggregated over processors.
+#[derive(Debug, Clone)]
+pub struct StepPhaseRow {
+    /// Step index, counting warm-up steps.
+    pub step: u32,
+    pub phase: Phase,
+    /// Critical-path time: max span duration over processors.
+    pub time: u64,
+    /// Counters summed over processors (`time` mirrors the field above).
+    pub stats: CtxStats,
+    /// Load imbalance: max/avg over processors of span duration minus
+    /// barrier wait. 1.0 is perfectly balanced.
+    pub imbalance: f64,
 }
 
 /// One timed lock acquisition on one processor.
@@ -189,6 +205,91 @@ impl<E: Env> TraceEnv<E> {
             agg.page_faults += t.page_faults;
         }
         agg
+    }
+
+    /// Per-step, per-phase time series aggregated from the recorded spans:
+    /// one row per (step, phase) that actually ran, sorted by step then
+    /// phase order. `time` is the critical path (max span duration over
+    /// processors), counters are summed over processors, and `imbalance`
+    /// is max/avg of per-processor work (duration minus barrier wait) —
+    /// the run-level [`crate::app::RunStats::tree_imbalance`] decomposed
+    /// step by step. Warm-up steps are included (filter on `step`).
+    pub fn step_series(&self) -> Vec<StepPhaseRow> {
+        let mut groups: HashMap<(u32, usize), Vec<SpanRecord>> = HashMap::new();
+        for s in self.spans() {
+            groups.entry((s.step, s.phase.index())).or_default().push(s);
+        }
+        let mut out: Vec<StepPhaseRow> = groups
+            .into_iter()
+            .map(|((step, phase_idx), spans)| {
+                let mut stats = CtxStats::default();
+                let mut time = 0u64;
+                let mut work: Vec<u64> = Vec::with_capacity(spans.len());
+                for s in &spans {
+                    let dur = s.end - s.start;
+                    time = time.max(dur);
+                    work.push(dur.saturating_sub(s.stats.barrier_wait));
+                    stats.lock_acquires += s.stats.lock_acquires;
+                    stats.lock_wait += s.stats.lock_wait;
+                    stats.barrier_wait += s.stats.barrier_wait;
+                    stats.remote_misses += s.stats.remote_misses;
+                    stats.local_misses += s.stats.local_misses;
+                    stats.page_faults += s.stats.page_faults;
+                }
+                stats.time = time;
+                let max = work.iter().max().copied().unwrap_or(0) as f64;
+                let avg = work.iter().sum::<u64>() as f64 / work.len().max(1) as f64;
+                let imbalance = if avg == 0.0 { 1.0 } else { max / avg };
+                StepPhaseRow {
+                    step,
+                    phase: Phase::ALL[phase_idx],
+                    time,
+                    stats,
+                    imbalance,
+                }
+            })
+            .collect();
+        out.sort_by_key(|r| (r.step, r.phase.index()));
+        out
+    }
+
+    /// Plain-text per-phase summary of the step series with nearest-rank
+    /// p50/p99 over steps — the repeat-aware view: steps of one run are
+    /// the repeats, so a single slow step shows up in the p99 column
+    /// instead of vanishing into a run-level mean.
+    pub fn step_summary(&self, time_unit: &str) -> String {
+        use crate::app::{percentile_f64, percentile_u64};
+        let rows = self.step_series();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>5} {:>14} {:>14} {:>14} {:>14} {:>10} {:>10}\n",
+            "phase",
+            "steps",
+            format!("t_p50({time_unit})"),
+            format!("t_p99({time_unit})"),
+            "lockw_p50",
+            "lockw_p99",
+            "imbal_p50",
+            "imbal_p99"
+        ));
+        for phase in Phase::ALL {
+            let of_phase: Vec<&StepPhaseRow> = rows.iter().filter(|r| r.phase == phase).collect();
+            let times: Vec<u64> = of_phase.iter().map(|r| r.time).collect();
+            let waits: Vec<u64> = of_phase.iter().map(|r| r.stats.lock_wait).collect();
+            let imb: Vec<f64> = of_phase.iter().map(|r| r.imbalance).collect();
+            out.push_str(&format!(
+                "{:<10} {:>5} {:>14} {:>14} {:>14} {:>14} {:>10.3} {:>10.3}\n",
+                phase.name(),
+                of_phase.len(),
+                percentile_u64(&times, 50.0),
+                percentile_u64(&times, 99.0),
+                percentile_u64(&waits, 50.0),
+                percentile_u64(&waits, 99.0),
+                percentile_f64(&imb, 50.0),
+                percentile_f64(&imb, 99.0)
+            ));
+        }
+        out
     }
 
     /// Plain-text per-phase summary (Table-2-style): one row per phase
@@ -340,6 +441,10 @@ impl<E: Env> Env for TraceEnv<E> {
 
     fn alloc(&self, bytes: u64, align: u64, place: Placement) -> VAddr {
         self.inner.alloc(bytes, align, place)
+    }
+
+    fn tag_region(&self, base: VAddr, bytes: u64, region: Region) {
+        self.inner.tag_region(base, bytes, region)
     }
 
     #[inline(always)]
@@ -602,6 +707,49 @@ mod tests {
         // SPACE takes no tree locks; the update phase may lock on movers,
         // but with a pure rebuild it doesn't — accept either wording.
         assert!(s.contains("locks:"), "summary missing lock line: {s}");
+    }
+
+    #[test]
+    fn step_series_decomposes_phase_totals() {
+        let env = TraceEnv::new(NativeEnv::new(4));
+        let bodies = Model::Plummer.generate(96, 1998);
+        let mut cfg = tiny_cfg(Algorithm::Orig);
+        cfg.measured_steps = 3;
+        run_simulation(&env, &cfg, &bodies).assert_valid();
+        let rows = env.step_series();
+        // 4 steps (1 warm-up + 3 measured) x 4 phases, in order.
+        assert_eq!(rows.len(), 4 * 4);
+        let order: Vec<(u32, Phase)> = rows.iter().map(|r| (r.step, r.phase)).collect();
+        let mut sorted = order.clone();
+        sorted.sort_by_key(|(s, p)| (*s, p.index()));
+        assert_eq!(order, sorted);
+        for phase in Phase::ALL {
+            let agg = env.phase_aggregate(phase);
+            let of_phase: Vec<&StepPhaseRow> = rows.iter().filter(|r| r.phase == phase).collect();
+            // Summing the series over steps reproduces the run aggregates.
+            for (get, want) in [
+                (
+                    of_phase.iter().map(|r| r.stats.lock_acquires).sum::<u64>(),
+                    agg.lock_acquires,
+                ),
+                (
+                    of_phase.iter().map(|r| r.stats.lock_wait).sum::<u64>(),
+                    agg.lock_wait,
+                ),
+                (
+                    of_phase.iter().map(|r| r.stats.remote_misses).sum::<u64>(),
+                    agg.remote_misses,
+                ),
+            ] {
+                assert_eq!(get, want, "series does not tile aggregate for {phase}");
+            }
+            assert!(of_phase.iter().all(|r| r.imbalance >= 1.0 - 1e-9));
+        }
+        let s = env.step_summary("ns");
+        assert!(s.contains("t_p50"), "missing percentile column: {s}");
+        for phase in Phase::ALL {
+            assert!(s.contains(phase.name()), "step summary missing {phase}");
+        }
     }
 
     #[test]

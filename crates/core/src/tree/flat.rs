@@ -159,12 +159,17 @@ impl FlatTree {
         // child slot exactly once; every body lives in exactly one leaf.
         let nodes_cap = (cap.cells_per_arena + cap.leaves_per_arena) * arenas;
         let g = Placement::Global;
-        FlatTree {
+        let flat = FlatTree {
             nodes: SharedVec::new(env, nodes_cap, FlatNode::zero(), g),
             kids: SharedVec::new(env, nodes_cap, 0, g),
             bodies: SharedVec::new(env, n.max(1), 0, g),
             sub_counts: SharedVec::new(env, 3 * PLAN_CAP, 0, g),
+        };
+        for v in [&flat.kids, &flat.bodies, &flat.sub_counts] {
+            v.tag(env, crate::env::Region::FlatTree);
         }
+        flat.nodes.tag(env, crate::env::Region::FlatTree);
+        flat
     }
 
     /// Reset the snapshot storage to its freshly-allocated state (untimed,

@@ -361,7 +361,7 @@ impl SharedTree {
                 (lists, lens)
             }
         };
-        SharedTree {
+        let tree = SharedTree {
             arenas,
             root: SharedVec::new(env, 1, NodeRef::NULL, Placement::Global),
             root_cube: SharedVec::new(env, 1, Cube::new(Vec3::ZERO, 1.0), Placement::Global),
@@ -369,7 +369,39 @@ impl SharedTree {
             layout,
             leaf_lists,
             leaf_list_len,
+        };
+        tree.tag_regions(env);
+        tree
+    }
+
+    /// Register tree storage with the environment's region registry (see
+    /// [`Env::tag_region`]): cells/children/pending counters as
+    /// [`Region::TreeCells`], leaf storage as [`Region::TreeLeaves`], and
+    /// all allocation state (bump cursors, free lists, leaf lists, root)
+    /// as [`Region::TreeAlloc`].
+    fn tag_regions<E: Env>(&self, env: &E) {
+        use crate::env::Region;
+        for a in &self.arenas {
+            a.cells.tag(env, Region::TreeCells);
+            a.children.tag(env, Region::TreeCells);
+            a.cell_pending.tag(env, Region::TreeCells);
+            a.leaves.tag(env, Region::TreeLeaves);
+            a.leaf_parent.tag(env, Region::TreeLeaves);
+            a.leaf_bounds.tag(env, Region::TreeLeaves);
+            a.next_cell.tag(env, Region::TreeAlloc);
+            a.next_leaf.tag(env, Region::TreeAlloc);
+            a.free_cells.tag(env, Region::TreeAlloc);
+            a.free_leaves.tag(env, Region::TreeAlloc);
+            a.free_tops.tag(env, Region::TreeAlloc);
         }
+        for list in &self.leaf_lists {
+            list.tag(env, Region::TreeAlloc);
+        }
+        for len in &self.leaf_list_len {
+            len.tag(env, Region::TreeAlloc);
+        }
+        self.root.tag(env, Region::TreeAlloc);
+        self.root_cube.tag(env, Region::TreeAlloc);
     }
 
     /// The arena a given processor allocates from.

@@ -157,8 +157,43 @@ impl World {
                 .map(|q| SharedVec::new(env, SUBSPACE_CAP + 1, 0u32, Placement::Local(q)))
                 .collect(),
         };
+        w.tag_regions(env);
         w.reset(bodies);
         w
+    }
+
+    /// Register every world array with the environment's region registry
+    /// (see [`Env::tag_region`]). Untimed setup; harmless no-op on
+    /// environments without attribution.
+    fn tag_regions<E: Env>(&self, env: &E) {
+        use crate::env::Region;
+        for v in [&self.pos, &self.vel, &self.acc] {
+            v.tag(env, Region::Bodies);
+        }
+        self.mass.tag(env, Region::Bodies);
+        self.cost.tag(env, Region::BodyMeta);
+        self.body_leaf.tag(env, Region::BodyMeta);
+        self.order.tag(env, Region::Partition);
+        self.zone_start.tag(env, Region::Partition);
+        self.proc_bbox.tag(env, Region::Partition);
+        for f in &self.sp_frontier {
+            f.tag(env, Region::PartitionScratch);
+        }
+        for row in &self.sp_counts {
+            row.tag(env, Region::PartitionScratch);
+        }
+        for row in &self.sp_costs {
+            row.tag(env, Region::PartitionScratch);
+        }
+        self.sp_total_counts.tag(env, Region::PartitionScratch);
+        self.sp_total_costs.tag(env, Region::PartitionScratch);
+        self.sp_subspaces.tag(env, Region::PartitionScratch);
+        self.sp_nsub.tag(env, Region::PartitionScratch);
+        for rows in [&self.sp_body_slot, &self.sp_bucket, &self.sp_bucket_off] {
+            for row in rows.iter() {
+                row.tag(env, Region::PartitionScratch);
+            }
+        }
     }
 
     /// Reinitialize already-allocated world state for a new run over

@@ -3,17 +3,30 @@
 //! debugging aid for the cost models.
 //!
 //! ```text
-//! probe <platform|native> <algorithm> <n> <procs> [--trace <path>]
+//! probe <platform|native> <algorithm> <n> <procs>
+//!       [--scale tiny|small|full] [--trace <path>] [--attr]
 //! ```
+//!
+//! `--scale` applies the same scaling `repro` applies to the paper's
+//! configurations: `n` is divided per the scale (`tiny` = /64, `small` = /8)
+//! and `procs` capped for `tiny` — so a paper-sized configuration can be
+//! pasted verbatim and shrunk with one flag.
 //!
 //! With `--trace`, the run is instrumented with [`TraceEnv`] and a
 //! Chrome/Perfetto trace (one track per processor, spans for all four
 //! phases plus contended lock acquires) is written to `<path>`, and the
-//! trace summary table is printed after the per-processor diagnostics.
-//! Native timestamps are wall-clock; simulated ones are platform cycles.
+//! trace summary plus per-step percentile tables are printed after the
+//! per-processor diagnostics. Native timestamps are wall-clock; simulated
+//! ones are platform cycles.
+//!
+//! With `--attr` (simulated platforms only), the machine runs with
+//! attribution enabled and the per-region communication breakdown is
+//! printed: misses, faults, invalidations and lock waits charged to the
+//! shared data structure they hit.
 
 use bh_core::prelude::*;
-use ssmp::{platform, CostModel, Machine};
+use bh_experiments::ExperimentScale;
+use ssmp::{platform, AttrTable, CostModel, Machine};
 
 /// Apply one `PROBE_<FIELD>` calibration override to the cost model.
 fn set_override(cost: &mut CostModel, key: &str, v: u64) {
@@ -30,12 +43,19 @@ fn set_override(cost: &mut CostModel, key: &str, v: u64) {
     }
 }
 
-fn usage() -> ! {
-    eprintln!("usage: probe <platform|native> <algorithm> <n> <procs> [--trace <path>]");
+/// Print a specific diagnostic plus the usage banner, then exit non-zero.
+fn die(msg: &str) -> ! {
+    eprintln!("probe: {msg}");
+    eprintln!(
+        "usage: probe <platform|native> <algorithm> <n> <procs> \
+         [--scale {}] [--trace <path>] [--attr]",
+        ExperimentScale::NAMES.join("|")
+    );
     std::process::exit(2);
 }
 
-/// Run traced, print the summary, and write the Chrome trace to `path`.
+/// Run traced, print the summaries, write the Chrome trace to `path`, and
+/// hand the environment back so the caller can keep inspecting it.
 fn run_traced<E: Env>(
     env: E,
     cfg: &SimConfig,
@@ -44,45 +64,118 @@ fn run_traced<E: Env>(
     label: &str,
     unit: &str,
     ts_div: f64,
-) -> RunStats {
+) -> (RunStats, TraceEnv<E>) {
     let traced = TraceEnv::new(env);
     let stats = run_simulation(&traced, cfg, bodies);
     std::fs::write(path, traced.chrome_trace_json(label, ts_div)).expect("write trace");
     eprintln!("[wrote {path} — open in https://ui.perfetto.dev]");
     println!("{}", traced.summary(unit));
-    stats
+    println!("per-step percentiles (all steps incl. warm-up):");
+    println!("{}", traced.step_summary(unit));
+    (stats, traced)
+}
+
+/// Print the per-region attribution breakdown of an attributed machine.
+fn print_attribution(machine: &Machine) {
+    let tables = machine
+        .attribution()
+        .expect("attribution was enabled on this machine");
+    let mut sum = AttrTable::new();
+    for t in &tables {
+        sum.accumulate(t);
+    }
+    println!("per-region attribution (whole run, summed over processors):");
+    println!(
+        "  {:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "region", "local", "remote", "faults", "inval", "locks", "lockwait"
+    );
+    for region in Region::ALL {
+        let c = sum.region_total(region);
+        if !c.is_zero() {
+            println!(
+                "  {:<18} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+                region.name(),
+                c.local_misses,
+                c.remote_misses,
+                c.page_faults,
+                c.invalidations,
+                c.lock_acquires,
+                c.lock_wait
+            );
+        }
+    }
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
-    if let Some(at) = args.iter().position(|a| a == "--trace") {
-        if at + 1 >= args.len() {
-            usage();
+    let mut scale: Option<ExperimentScale> = None;
+    let mut attr = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                i += 1;
+                trace_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace needs a <path>")),
+                );
+            }
+            "--scale" => {
+                i += 1;
+                let value = args.get(i).unwrap_or_else(|| die("--scale needs a value"));
+                scale = Some(ExperimentScale::parse(value).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown scale '{value}' (valid: {})",
+                        ExperimentScale::NAMES.join(", ")
+                    ))
+                }));
+            }
+            "--attr" => attr = true,
+            flag if flag.starts_with("--") => die(&format!("unrecognized flag '{flag}'")),
+            other if positional.len() < 4 => positional.push(other.to_string()),
+            extra => die(&format!("unexpected argument '{extra}'")),
         }
-        trace_path = Some(args.remove(at + 1));
-        args.remove(at);
+        i += 1;
     }
-    if args.len() != 4 {
-        usage();
+    if positional.len() != 4 {
+        die(&format!(
+            "expected 4 positional arguments (platform algorithm n procs), got {}",
+            positional.len()
+        ));
     }
-    let alg = Algorithm::parse(&args[1]).expect("unknown algorithm");
-    let n: usize = args[2].parse().expect("n");
-    let procs: usize = args[3].parse().expect("procs");
+    let alg = Algorithm::parse(&positional[1])
+        .unwrap_or_else(|| die(&format!("unknown algorithm '{}'", positional[1])));
+    let mut n: usize = positional[2]
+        .parse()
+        .unwrap_or_else(|_| die(&format!("invalid n '{}'", positional[2])));
+    let mut procs: usize = positional[3]
+        .parse()
+        .unwrap_or_else(|_| die(&format!("invalid procs '{}'", positional[3])));
+    if let Some(s) = scale {
+        n = s.size(n);
+        procs = s.procs(procs);
+    }
     let bodies = Model::Plummer.generate(n, 1998);
     let cfg = SimConfig::new(alg);
-    let label = format!("{} {alg}", args[0]);
+    let label = format!("{} {alg}", positional[0]);
 
-    let stats = if args[0] == "native" {
+    let stats = if positional[0] == "native" {
+        if attr {
+            die("--attr needs a simulated platform (the native machine has no protocol to attribute)");
+        }
         let env = NativeEnv::new(procs);
         match &trace_path {
             // Native timestamps are nanoseconds; /1000 puts them on the
             // trace viewer's microsecond axis.
-            Some(path) => run_traced(env, &cfg, &bodies, path, &label, "ns", 1000.0),
+            Some(path) => run_traced(env, &cfg, &bodies, path, &label, "ns", 1000.0).0,
             None => run_simulation(&env, &cfg, &bodies),
         }
     } else {
-        let mut cost = platform::by_name(&args[0], procs).expect("unknown platform");
+        let mut cost = platform::by_name(&positional[0], procs)
+            .unwrap_or_else(|| die(&format!("unknown platform '{}'", positional[0])));
         // Calibration overrides: PROBE_<FIELD>=value.
         for key in [
             "PROBE_NOTICE",
@@ -98,16 +191,35 @@ fn main() {
                 set_override(&mut cost, key, v.parse().expect(key));
             }
         }
-        let machine = Machine::new(cost, procs);
+        let mut machine = Machine::new(cost, procs);
+        if attr {
+            machine = machine.with_attribution();
+        }
         match &trace_path {
             // Simulated clocks tick in cycles; render one cycle per µs.
-            Some(path) => run_traced(machine, &cfg, &bodies, path, &label, "cycles", 1.0),
-            None => run_simulation(&machine, &cfg, &bodies),
+            Some(path) => {
+                let (stats, traced) =
+                    run_traced(machine, &cfg, &bodies, path, &label, "cycles", 1.0);
+                if attr {
+                    print_attribution(traced.inner());
+                }
+                stats
+            }
+            None => {
+                let stats = run_simulation(&machine, &cfg, &bodies);
+                if attr {
+                    print_attribution(&machine);
+                }
+                stats
+            }
         }
     };
     stats.assert_valid();
 
-    println!("platform={} alg={} n={} procs={}", args[0], alg, n, procs);
+    println!(
+        "platform={} alg={} n={} procs={}",
+        positional[0], alg, n, procs
+    );
     println!(
         "total={} tree={} ({:.1}%) force={}",
         stats.total_time(),

@@ -54,6 +54,7 @@
 
 use bh_experiments::experiments;
 use bh_experiments::json::Json;
+use bh_experiments::report;
 use bh_experiments::runner::ExperimentScale;
 use bh_experiments::sweep;
 use std::collections::{HashMap, HashSet};
@@ -62,6 +63,7 @@ use std::io::Write;
 fn usage_text() -> String {
     format!(
         "usage: repro <experiment|all|matrix> [--scale {}] [--jobs <N>] [--json <path>] [--trace <path>]\n\
+         \x20      repro report [--scale <scale>] [--json <path>]\n\
          \x20      repro verify [--seeds <N>] [--procs <p,q,..>] [--exhaustive] [--self-test]\n\
          \x20      repro check-json <path>\n\
          \x20      repro check-trace <path>\n\
@@ -201,6 +203,40 @@ fn main() {
     }
     let which = which.unwrap_or_else(|| die("missing experiment name"));
 
+    // The scaling/analysis report: communication-by-data-structure breakdown
+    // (attribution-enabled runs), speedup/efficiency curves over a processor
+    // sweep with crossover points, and repeat-aware per-step summaries.
+    // Emits REPORT_<scale>.json alongside the text tables; `check-json`
+    // validates it against the report schemas.
+    if which == "report" {
+        if trace_path.is_some() {
+            die("--trace is only produced by the 'treebuild' experiment (or 'all')");
+        }
+        let t0 = std::time::Instant::now();
+        let r = bh_experiments::report::scaling_report(scale);
+        for t in &r.tables {
+            println!("{t}");
+        }
+        let report_path = format!("REPORT_{}.json", scale.name());
+        std::fs::write(&report_path, &r.json).expect("write report json");
+        eprintln!(
+            "[wrote {report_path} ({} table(s)) in {:.1}s]",
+            r.tables.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        if let Some(path) = json_path {
+            let objects: Vec<String> = r
+                .tables
+                .iter()
+                .map(|t| format!("  {}", t.to_json()))
+                .collect();
+            let mut f = std::fs::File::create(&path).expect("create json output");
+            writeln!(f, "[\n{}\n]", objects.join(",\n")).expect("write json");
+            eprintln!("[wrote {path}]");
+        }
+        return;
+    }
+
     // Prewarm the run caches with the sweep scheduler; the serial table
     // generation below then only performs lookups. Progress goes to stderr
     // so the emitted documents stay byte-identical to a --jobs 1 run.
@@ -234,7 +270,7 @@ fn main() {
         match experiments::by_name(&which, scale) {
             Some(t) => tables.push(t),
             None => die(&format!(
-                "unknown experiment '{which}' (valid: all, matrix, {})",
+                "unknown experiment '{which}' (valid: all, matrix, report, {})",
                 experiments::EXPERIMENT_NAMES.join(", ")
             )),
         }
@@ -424,9 +460,13 @@ const TREEBUILD_FIELDS: [&str; 14] = [
     "native_total_ns",
 ];
 
-/// Validate an experiment-table or BENCH metrics document: well-formed JSON,
-/// a non-empty array of objects; treebuild metric records must carry the
-/// full numeric schema (including the load-imbalance and flatten metrics).
+/// Validate an experiment-table, BENCH or REPORT document: well-formed
+/// JSON, a non-empty array of objects; treebuild metric records must carry
+/// the full numeric schema (including the load-imbalance and flatten
+/// metrics); `report_*` records are validated against
+/// [`bh_experiments::report::REPORT_SCHEMAS`], and the `report_comm`
+/// breakdown is re-checked for the tiling property from the document alone:
+/// per-region rows must sum exactly to their configuration's "total" row.
 fn check_json(path: &str) {
     let doc = load(path);
     let items = doc
@@ -435,6 +475,9 @@ fn check_json(path: &str) {
     if items.is_empty() {
         die(&format!("{path}: empty document"));
     }
+    // (platform, algorithm) -> (sum of region rows, total row), per metric.
+    let mut comm_sums: HashMap<(String, String), [f64; 2]> = HashMap::new();
+    let mut comm_totals: HashMap<(String, String), [f64; 2]> = HashMap::new();
     for (i, item) in items.iter().enumerate() {
         // Table dumps carry "id"; BENCH metric records carry "experiment".
         if item.get("experiment").is_none() && item.get("id").is_none() {
@@ -442,7 +485,8 @@ fn check_json(path: &str) {
                 "{path}: record {i} has neither an \"experiment\" nor an \"id\" field"
             ));
         }
-        if item.get("experiment").and_then(Json::as_str) == Some("treebuild") {
+        let experiment = item.get("experiment").and_then(Json::as_str);
+        if experiment == Some("treebuild") {
             if item.get("algorithm").and_then(Json::as_str).is_none() {
                 die(&format!("{path}: treebuild record {i} lacks \"algorithm\""));
             }
@@ -453,6 +497,44 @@ fn check_json(path: &str) {
                     ));
                 }
             }
+        }
+        if experiment.is_some_and(|e| e.starts_with("report_")) {
+            if let Err(e) = report::validate_report_record(item) {
+                die(&format!("{path}: record {i}: {e}"));
+            }
+        }
+        if experiment == Some("report_comm") {
+            let key = (
+                item.get("platform")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string(),
+                item.get("algorithm")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string(),
+            );
+            let metrics = [
+                item.get("remote_misses").and_then(Json::as_f64).unwrap(),
+                item.get("lock_wait_cycles").and_then(Json::as_f64).unwrap(),
+            ];
+            if item.get("region").and_then(Json::as_str) == Some("total") {
+                comm_totals.insert(key, metrics);
+            } else {
+                let e = comm_sums.entry(key).or_default();
+                e[0] += metrics[0];
+                e[1] += metrics[1];
+            }
+        }
+    }
+    for (key, total) in &comm_totals {
+        let sum = comm_sums.get(key).copied().unwrap_or_default();
+        if sum != *total {
+            die(&format!(
+                "{path}: report_comm rows for {}/{} do not tile the total \
+                 (regions sum to {:?}, total says {:?})",
+                key.0, key.1, sum, total
+            ));
         }
     }
     println!("{path}: OK ({} record(s))", items.len());
@@ -546,11 +628,25 @@ fn bench_key(r: &Json) -> Option<(String, String, String)> {
     ))
 }
 
-/// Compare two BENCH documents and exit 1 when a fresh native timing is more
-/// than `max_regress` (fraction) above the baseline for any algorithm.
-/// Simulated-cycle metrics are deterministic and informational here; the
-/// gate is on the native wall timings, which carry run-to-run noise — hence
-/// a tolerance rather than equality.
+/// Per-metric comparison spec for `bench-diff`: metric name and whether a
+/// regression beyond the threshold fails the gate. The native wall timings
+/// gate (they measure this machine, and run-to-run noise is why the
+/// threshold is a tolerance rather than equality). The simulated metrics
+/// are compared and printed but informational: multi-processor simulated
+/// timings carry real run-to-run jitter (host thread interleaving feeds
+/// the contention model), so gating them would flake.
+const DIFF_METRICS: [(&str, bool); 5] = [
+    ("tree_cycles", false),
+    ("flatten_cycles", false),
+    ("barrier_wait_cycles", false),
+    ("native_tree_ns", true),
+    ("native_total_ns", true),
+];
+
+/// Compare two BENCH documents metric by metric (records matched on
+/// algorithm and scale) and exit 1 when a fresh *gated* metric is more than
+/// `max_regress` (fraction) above the baseline for any algorithm. See
+/// [`DIFF_METRICS`] for which metrics gate and which are informational.
 fn bench_diff(baseline_path: &str, fresh_path: &str, max_regress: f64) {
     let baseline = load(baseline_path);
     let fresh = load(fresh_path);
@@ -580,7 +676,7 @@ fn bench_diff(baseline_path: &str, fresh_path: &str, max_regress: f64) {
             regressions += 1;
             continue;
         };
-        for metric in ["native_tree_ns", "native_total_ns"] {
+        for (metric, gated) in DIFF_METRICS {
             let old = b.get(metric).and_then(Json::as_f64);
             let new = f.get(metric).and_then(Json::as_f64);
             let (Some(old), Some(new)) = (old, new) else {
@@ -591,13 +687,19 @@ fn bench_diff(baseline_path: &str, fresh_path: &str, max_regress: f64) {
             }
             let ratio = new / old;
             let marker = if ratio > 1.0 + max_regress {
-                regressions += 1;
-                "  <-- REGRESSION"
-            } else {
+                if gated {
+                    regressions += 1;
+                    "  <-- REGRESSION"
+                } else {
+                    "  (info: over threshold, not gated)"
+                }
+            } else if gated {
                 ""
+            } else {
+                "  (info)"
             };
             println!(
-                "{:8} {:18} {:>14.0} -> {:>14.0}  ({:+6.1}%){}",
+                "{:8} {:20} {:>14.0} -> {:>14.0}  ({:+6.1}%){}",
                 key.2,
                 metric,
                 old,
@@ -605,7 +707,9 @@ fn bench_diff(baseline_path: &str, fresh_path: &str, max_regress: f64) {
                 (ratio - 1.0) * 100.0,
                 marker
             );
-            compared += 1;
+            if gated {
+                compared += 1;
+            }
         }
     }
     if compared == 0 {

@@ -7,6 +7,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod report;
 pub mod runner;
 pub mod sweep;
 pub mod tables;

@@ -1,0 +1,615 @@
+//! The `repro report` scaling/analysis subsystem.
+//!
+//! Distills the reproduced runs into three analysis products the paper's
+//! tables only hint at:
+//!
+//! 1. **Communication by data structure** (Table-4-style): every algorithm
+//!    run with the simulator's attribution hooks enabled, so simulated
+//!    misses, faults, invalidations and lock waits are charged to the shared
+//!    [`Region`] they hit and the pipeline stage that incurred them. The
+//!    per-region rows *tile* the aggregate counters exactly — the generator
+//!    asserts it, and [`validate_report_record`]'s caller re-checks it from
+//!    the emitted document.
+//! 2. **Speedup/efficiency curves**: per-algorithm speedups over a
+//!    processor-count sweep on each simulated platform, with parallel
+//!    efficiency (speedup / processors).
+//! 3. **Crossover analysis**: which algorithm wins at each processor count,
+//!    and where the winner changes — e.g. the point where SPACE's lock-free
+//!    build overtakes the lock-based algorithms as contention grows.
+//!
+//! Plus a per-step time-series summary (**4**): each configuration run
+//! `repeats` times, the per-step tree/total times, lock waits and imbalance
+//! pooled across repeats, and summarized with nearest-rank p50/p99 — a
+//! single slow step surfaces in the p99 column instead of vanishing into a
+//! run-level mean.
+//!
+//! Everything is emitted twice: human-readable [`Table`]s and a flat JSON
+//! array (`REPORT_<scale>.json`) of typed records whose schemas live in
+//! [`REPORT_SCHEMAS`] — `repro check-json` validates against them, and a
+//! schema-drift test asserts every emitted key is covered.
+
+use crate::runner::{run_cached, ExperimentScale, WORKLOAD_SEED};
+use crate::tables::{fmt_pct, fmt_speedup, Table};
+use bh_core::prelude::*;
+use ssmp::{platform, slot_name, AttrTable, CostModel, Machine, ATTR_SLOTS};
+
+use crate::experiments::ALGS;
+use crate::json::Json;
+
+/// Complete output of `repro report`.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Human-readable tables, in presentation order.
+    pub tables: Vec<Table>,
+    /// The `REPORT_<scale>.json` document: a flat array of typed records.
+    pub json: String,
+}
+
+/// Required fields per record type: (experiment, string fields, numeric
+/// fields). Every record `repro report` emits carries `"experiment"` naming
+/// its type plus exactly the fields listed here — `repro check-json`
+/// validates presence and type, and the schema-drift test asserts no
+/// emitted key escapes validation.
+pub const REPORT_SCHEMAS: &[(&str, &[&str], &[&str])] = &[
+    (
+        "report_comm",
+        &["scale", "platform", "algorithm", "region", "stage"],
+        &[
+            "n",
+            "procs",
+            "local_misses",
+            "remote_misses",
+            "page_faults",
+            "invalidations",
+            "lock_acquires",
+            "lock_wait_cycles",
+        ],
+    ),
+    (
+        "report_scaling",
+        &["scale", "platform", "algorithm"],
+        &[
+            "n",
+            "procs",
+            "total_cycles",
+            "tree_cycles",
+            "seq_cycles",
+            "speedup",
+            "efficiency",
+        ],
+    ),
+    (
+        "report_crossover",
+        &["scale", "platform", "winner", "runner_up"],
+        &["n", "procs", "winner_speedup", "margin", "changed"],
+    ),
+    (
+        "report_steps",
+        &["scale", "platform", "algorithm"],
+        &[
+            "n",
+            "procs",
+            "repeats",
+            "steps",
+            "tree_p50_cycles",
+            "tree_p99_cycles",
+            "total_p50_cycles",
+            "total_p99_cycles",
+            "lock_wait_p50_cycles",
+            "lock_wait_p99_cycles",
+            "imbalance_p50",
+            "imbalance_p99",
+        ],
+    ),
+];
+
+/// Validate one record of a `REPORT_*.json` document against
+/// [`REPORT_SCHEMAS`]: known experiment type, every required string field a
+/// string, every required numeric field a number.
+pub fn validate_report_record(record: &Json) -> Result<(), String> {
+    let exp = record
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "record lacks \"experiment\"".to_string())?;
+    let (_, strs, nums) = REPORT_SCHEMAS
+        .iter()
+        .find(|(name, _, _)| *name == exp)
+        .ok_or_else(|| format!("unknown report record type \"{exp}\""))?;
+    for field in *strs {
+        if record.get(field).and_then(Json::as_str).is_none() {
+            return Err(format!("{exp} record lacks string \"{field}\""));
+        }
+    }
+    for field in *nums {
+        if record.get(field).and_then(Json::as_f64).is_none() {
+            return Err(format!("{exp} record lacks numeric \"{field}\""));
+        }
+    }
+    Ok(())
+}
+
+/// The simulated platforms the report covers: one hardware-coherent CC-NUMA
+/// machine and one software shared-virtual-memory machine — the two ends of
+/// the paper's communication-cost spectrum.
+fn platforms(procs: usize) -> [CostModel; 2] {
+    [platform::origin2000(procs), platform::typhoon0_hlrc(procs)]
+}
+
+/// Generate the full scaling report at a scale's standard size. See
+/// [`scaling_report_sized`] for the knobs.
+pub fn scaling_report(scale: ExperimentScale) -> ScalingReport {
+    let mut sweep: Vec<usize> = [1, 2, 4, 8, 16].iter().map(|&p| scale.procs(p)).collect();
+    sweep.dedup();
+    scaling_report_sized(scale, scale.size(16384), &sweep, 2)
+}
+
+/// Generate the report for an explicit size, processor sweep and repeat
+/// count. The communication breakdown and step series run at the sweep's
+/// largest processor count; the scaling curves cover the whole sweep.
+pub fn scaling_report_sized(
+    scale: ExperimentScale,
+    n: usize,
+    procs_sweep: &[usize],
+    repeats: usize,
+) -> ScalingReport {
+    assert!(!procs_sweep.is_empty(), "empty processor sweep");
+    let max_procs = *procs_sweep.iter().max().unwrap();
+    let mut records: Vec<String> = Vec::new();
+    let mut tables = Vec::new();
+
+    tables.push(comm_breakdown(scale, n, max_procs, &mut records));
+    let (curves, crossover) = scaling_curves(scale, n, procs_sweep, &mut records);
+    tables.extend(curves);
+    tables.push(crossover);
+    tables.push(step_series(scale, n, max_procs, repeats, &mut records));
+
+    ScalingReport {
+        tables,
+        json: format!("[\n{}\n]\n", records.join(",\n")),
+    }
+}
+
+/// Product 1: per-region communication breakdown with attribution enabled,
+/// asserting the tiling property against the aggregate counters.
+fn comm_breakdown(
+    scale: ExperimentScale,
+    n: usize,
+    procs: usize,
+    records: &mut Vec<String>,
+) -> Table {
+    let mut table = Table::new(
+        "Report: communication",
+        &format!(
+            "Simulated communication by data structure, {n} particles, {procs} processors \
+             (whole run; tree-stage remote misses split out; zero rows omitted)"
+        ),
+        &[
+            "platform",
+            "alg",
+            "region",
+            "local",
+            "remote",
+            "remote@tree",
+            "faults",
+            "inval",
+            "locks",
+            "lock_wait",
+        ],
+        "tree cells dominate communication for the lock-based algorithms; \
+         SPACE shifts traffic to bodies and the flat tree",
+    );
+    let bodies = Model::Plummer.generate(n, WORKLOAD_SEED);
+    for cost in platforms(procs) {
+        for alg in ALGS {
+            let machine = Machine::new(cost.clone(), procs).with_attribution();
+            let stats = run_simulation(&machine, &SimConfig::new(alg), &bodies);
+            stats.assert_valid();
+            let tables = machine
+                .attribution()
+                .expect("attribution was enabled on this machine");
+            let mut sum = AttrTable::new();
+            for t in &tables {
+                sum.accumulate(t);
+            }
+
+            // The tiling property is the contract that makes the breakdown
+            // trustworthy: per-region counters must sum exactly to the
+            // aggregates the rest of the harness reports.
+            let mut agg = CtxStats::default();
+            for r in &stats.procs_records {
+                agg.accumulate(&r.final_stats);
+            }
+            let total = sum.total();
+            for (name, got, want) in [
+                ("local_misses", total.local_misses, agg.local_misses),
+                ("remote_misses", total.remote_misses, agg.remote_misses),
+                ("page_faults", total.page_faults, agg.page_faults),
+                ("lock_acquires", total.lock_acquires, agg.lock_acquires),
+                ("lock_wait", total.lock_wait, agg.lock_wait),
+            ] {
+                assert_eq!(
+                    got,
+                    want,
+                    "report: attribution does not tile {name} for {}/{}",
+                    cost.name,
+                    alg.name()
+                );
+            }
+
+            for region in Region::ALL {
+                let r = sum.region_total(region);
+                if !r.is_zero() {
+                    let tree_remote = sum.cell(region, Phase::Tree.index()).remote_misses;
+                    table.row(vec![
+                        cost.name.clone(),
+                        alg.name().to_string(),
+                        region.name().to_string(),
+                        r.local_misses.to_string(),
+                        r.remote_misses.to_string(),
+                        tree_remote.to_string(),
+                        r.page_faults.to_string(),
+                        r.invalidations.to_string(),
+                        r.lock_acquires.to_string(),
+                        r.lock_wait.to_string(),
+                    ]);
+                }
+                // JSON keeps the full (region x stage) resolution; zero
+                // cells are omitted but their absence cannot break tiling.
+                for slot in 0..ATTR_SLOTS {
+                    let c = sum.cell(region, slot);
+                    if !c.is_zero() {
+                        records.push(comm_record(
+                            scale,
+                            &cost.name,
+                            alg,
+                            n,
+                            procs,
+                            region.name(),
+                            slot_name(slot),
+                            c,
+                        ));
+                    }
+                }
+            }
+            // One totals record per configuration: check-json re-derives
+            // the tiling property from the document alone.
+            records.push(comm_record(
+                scale, &cost.name, alg, n, procs, "total", "all", &total,
+            ));
+        }
+    }
+    table
+}
+
+#[allow(clippy::too_many_arguments)]
+fn comm_record(
+    scale: ExperimentScale,
+    platform: &str,
+    alg: Algorithm,
+    n: usize,
+    procs: usize,
+    region: &str,
+    stage: &str,
+    c: &ssmp::AttrCell,
+) -> String {
+    format!(
+        "  {{\"experiment\": \"report_comm\", \"scale\": \"{}\", \"platform\": \"{platform}\", \
+         \"algorithm\": \"{}\", \"region\": \"{region}\", \"stage\": \"{stage}\", \
+         \"n\": {n}, \"procs\": {procs}, \
+         \"local_misses\": {}, \"remote_misses\": {}, \"page_faults\": {}, \
+         \"invalidations\": {}, \"lock_acquires\": {}, \"lock_wait_cycles\": {}}}",
+        scale.name(),
+        alg.name(),
+        c.local_misses,
+        c.remote_misses,
+        c.page_faults,
+        c.invalidations,
+        c.lock_acquires,
+        c.lock_wait,
+    )
+}
+
+/// Products 2 and 3: per-algorithm speedup/efficiency curves over the
+/// processor sweep, and the crossover table derived from them.
+fn scaling_curves(
+    scale: ExperimentScale,
+    n: usize,
+    procs_sweep: &[usize],
+    records: &mut Vec<String>,
+) -> (Vec<Table>, Table) {
+    let mut curve_tables = Vec::new();
+    let mut crossover = Table::new(
+        "Report: crossover",
+        &format!("Best algorithm per processor count, {n} particles"),
+        &["platform", "procs", "winner", "speedup", "margin", "note"],
+        "the winner at 1 processor (least overhead) is overtaken by the \
+         contention-robust algorithms as processors grow",
+    );
+    let makers: [fn(usize) -> CostModel; 2] = [platform::origin2000, platform::typhoon0_hlrc];
+    for maker in makers {
+        let cost0 = maker(1);
+        let mut t = Table::new(
+            &format!("Report: scaling on {}", cost0.name),
+            &format!(
+                "Speedup (and efficiency) vs processor count on {}, {n} particles",
+                cost0.name
+            ),
+            &[],
+            "speedups grow with processors but efficiency falls; \
+             lock-heavy algorithms fall off first",
+        );
+        t.headers = vec!["procs".to_string()];
+        t.headers.extend(ALGS.iter().map(|a| a.name().to_string()));
+        let mut prev_winner: Option<Algorithm> = None;
+        for &p in procs_sweep {
+            let cost = maker(p);
+            let mut row = vec![p.to_string()];
+            let mut by_speedup: Vec<(Algorithm, f64)> = Vec::new();
+            for alg in ALGS {
+                let run = run_cached(&cost, alg, n, p);
+                let efficiency = run.speedup / p as f64;
+                row.push(format!(
+                    "{} ({})",
+                    fmt_speedup(run.speedup),
+                    fmt_pct(efficiency)
+                ));
+                by_speedup.push((alg, run.speedup));
+                records.push(format!(
+                    "  {{\"experiment\": \"report_scaling\", \"scale\": \"{}\", \
+                     \"platform\": \"{}\", \"algorithm\": \"{}\", \"n\": {n}, \"procs\": {p}, \
+                     \"total_cycles\": {}, \"tree_cycles\": {}, \"seq_cycles\": {}, \
+                     \"speedup\": {:.4}, \"efficiency\": {:.4}}}",
+                    scale.name(),
+                    cost.name,
+                    alg.name(),
+                    run.total_cycles,
+                    run.tree_cycles,
+                    run.seq_cycles,
+                    run.speedup,
+                    efficiency,
+                ));
+            }
+            t.rows.push(row);
+            by_speedup.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            let (winner, ws) = by_speedup[0];
+            let (runner_up, rs) = by_speedup[1];
+            let changed = prev_winner.is_some_and(|w| w != winner);
+            let note = match prev_winner {
+                Some(w) if changed => format!("{} overtakes {}", winner.name(), w.name()),
+                _ => String::new(),
+            };
+            crossover.row(vec![
+                cost.name.clone(),
+                p.to_string(),
+                winner.name().to_string(),
+                fmt_speedup(ws),
+                format!("+{:.2} vs {}", ws - rs, runner_up.name()),
+                note,
+            ]);
+            records.push(format!(
+                "  {{\"experiment\": \"report_crossover\", \"scale\": \"{}\", \
+                 \"platform\": \"{}\", \"winner\": \"{}\", \"runner_up\": \"{}\", \
+                 \"n\": {n}, \"procs\": {p}, \"winner_speedup\": {:.4}, \
+                 \"margin\": {:.4}, \"changed\": {}}}",
+                scale.name(),
+                cost.name,
+                winner.name(),
+                runner_up.name(),
+                ws,
+                ws - rs,
+                if changed { 1 } else { 0 },
+            ));
+            prev_winner = Some(winner);
+        }
+        curve_tables.push(t);
+    }
+    (curve_tables, crossover)
+}
+
+/// Product 4: repeat-aware per-step summaries. Each configuration runs
+/// `repeats` times; per-step values are pooled across repeats before taking
+/// nearest-rank p50/p99 (multi-processor simulated timings carry real
+/// run-to-run jitter — the interleaving of the host threads feeds the
+/// contention model — so repeats widen the sample honestly).
+fn step_series(
+    scale: ExperimentScale,
+    n: usize,
+    procs: usize,
+    repeats: usize,
+    records: &mut Vec<String>,
+) -> Table {
+    let mut table = Table::new(
+        "Report: step series",
+        &format!(
+            "Per-step time series over {repeats} repeat(s), {n} particles, {procs} processors \
+             (nearest-rank percentiles over all measured steps of all repeats)"
+        ),
+        &[
+            "platform",
+            "alg",
+            "steps",
+            "tree_p50",
+            "tree_p99",
+            "total_p50",
+            "total_p99",
+            "lockw_p50",
+            "lockw_p99",
+            "imbal_p50",
+            "imbal_p99",
+        ],
+        "lock-based algorithms show wider tree-time tails (p99 >> p50) \
+         under contention; SPACE stays tight",
+    );
+    let bodies = Model::Plummer.generate(n, WORKLOAD_SEED);
+    for cost in platforms(procs) {
+        for alg in ALGS {
+            let mut tree_times: Vec<u64> = Vec::new();
+            let mut totals: Vec<u64> = Vec::new();
+            let mut lock_waits: Vec<u64> = Vec::new();
+            let mut imbalances: Vec<f64> = Vec::new();
+            for _ in 0..repeats.max(1) {
+                let machine = Machine::new(cost.clone(), procs);
+                let stats = run_simulation(&machine, &SimConfig::new(alg), &bodies);
+                stats.assert_valid();
+                tree_times.extend(stats.step_phase_times(Phase::Tree));
+                totals.extend(stats.step_totals());
+                lock_waits.extend(stats.step_lock_waits());
+                imbalances.extend(stats.step_tree_imbalance());
+            }
+            let steps = totals.len();
+            let row = [
+                percentile_u64(&tree_times, 50.0),
+                percentile_u64(&tree_times, 99.0),
+                percentile_u64(&totals, 50.0),
+                percentile_u64(&totals, 99.0),
+                percentile_u64(&lock_waits, 50.0),
+                percentile_u64(&lock_waits, 99.0),
+            ];
+            let (imb50, imb99) = (
+                percentile_f64(&imbalances, 50.0),
+                percentile_f64(&imbalances, 99.0),
+            );
+            let mut cells = vec![cost.name.clone(), alg.name().to_string(), steps.to_string()];
+            cells.extend(row.iter().map(u64::to_string));
+            cells.push(format!("{imb50:.3}"));
+            cells.push(format!("{imb99:.3}"));
+            table.row(cells);
+            records.push(format!(
+                "  {{\"experiment\": \"report_steps\", \"scale\": \"{}\", \
+                 \"platform\": \"{}\", \"algorithm\": \"{}\", \"n\": {n}, \"procs\": {procs}, \
+                 \"repeats\": {}, \"steps\": {steps}, \
+                 \"tree_p50_cycles\": {}, \"tree_p99_cycles\": {}, \
+                 \"total_p50_cycles\": {}, \"total_p99_cycles\": {}, \
+                 \"lock_wait_p50_cycles\": {}, \"lock_wait_p99_cycles\": {}, \
+                 \"imbalance_p50\": {imb50:.4}, \"imbalance_p99\": {imb99:.4}}}",
+                scale.name(),
+                cost.name,
+                alg.name(),
+                repeats.max(1),
+                row[0],
+                row[1],
+                row[2],
+                row[3],
+                row[4],
+                row[5],
+            ));
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn tiny_report() -> ScalingReport {
+        scaling_report_sized(ExperimentScale::Tiny, 128, &[1, 2], 2)
+    }
+
+    #[test]
+    fn report_emits_valid_records_with_no_schema_drift() {
+        let report = tiny_report();
+        assert!(!report.tables.is_empty());
+        let doc = Json::parse(&report.json).expect("report JSON must parse");
+        let records = doc.as_array().expect("report is an array");
+        assert!(!records.is_empty());
+
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for r in records {
+            validate_report_record(r).expect("every emitted record validates");
+            let exp = r.get("experiment").and_then(Json::as_str).unwrap();
+            *seen
+                .entry(
+                    REPORT_SCHEMAS
+                        .iter()
+                        .find(|(name, _, _)| *name == exp)
+                        .map(|(name, _, _)| *name)
+                        .unwrap(),
+                )
+                .or_default() += 1;
+
+            // Schema drift: every key the generator emits must be covered
+            // by the validator — a new metric key without a schema entry
+            // fails here before it can ship unvalidated.
+            let (_, strs, nums) = REPORT_SCHEMAS
+                .iter()
+                .find(|(name, _, _)| *name == exp)
+                .unwrap();
+            let Json::Obj(fields) = r else {
+                panic!("record is not an object")
+            };
+            for (key, _) in fields {
+                assert!(
+                    key == "experiment"
+                        || strs.contains(&key.as_str())
+                        || nums.contains(&key.as_str()),
+                    "{exp} emits key \"{key}\" that no schema covers"
+                );
+            }
+        }
+        // Every record type appears.
+        for (name, _, _) in REPORT_SCHEMAS {
+            assert!(
+                seen.get(name).copied().unwrap_or(0) > 0,
+                "report emitted no {name} records"
+            );
+        }
+    }
+
+    #[test]
+    fn comm_records_tile_their_totals() {
+        let report = tiny_report();
+        let doc = Json::parse(&report.json).unwrap();
+        // Group report_comm rows by (platform, algorithm) and check the
+        // non-total rows sum to the total row, metric by metric.
+        let mut sums: HashMap<(String, String), (f64, f64)> = HashMap::new();
+        let mut totals: HashMap<(String, String), (f64, f64)> = HashMap::new();
+        for r in doc.as_array().unwrap() {
+            if r.get("experiment").and_then(Json::as_str) != Some("report_comm") {
+                continue;
+            }
+            let key = (
+                r.get("platform")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string(),
+                r.get("algorithm")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string(),
+            );
+            let remote = r.get("remote_misses").and_then(Json::as_f64).unwrap();
+            let wait = r.get("lock_wait_cycles").and_then(Json::as_f64).unwrap();
+            if r.get("region").and_then(Json::as_str) == Some("total") {
+                totals.insert(key, (remote, wait));
+            } else {
+                let e = sums.entry(key).or_default();
+                e.0 += remote;
+                e.1 += wait;
+            }
+        }
+        assert!(!totals.is_empty());
+        for (key, total) in &totals {
+            let sum = sums.get(key).copied().unwrap_or((0.0, 0.0));
+            assert_eq!(sum, *total, "comm rows do not tile the total for {key:?}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_records() {
+        let bad = Json::parse(r#"{"experiment": "report_comm", "scale": "tiny"}"#).unwrap();
+        assert!(validate_report_record(&bad).is_err());
+        let unknown = Json::parse(r#"{"experiment": "report_nope"}"#).unwrap();
+        assert!(unknown_err_mentions_type(&unknown));
+        let no_exp = Json::parse(r#"{"id": "x"}"#).unwrap();
+        assert!(validate_report_record(&no_exp).is_err());
+    }
+
+    fn unknown_err_mentions_type(j: &Json) -> bool {
+        match validate_report_record(j) {
+            Err(e) => e.contains("report_nope"),
+            Ok(()) => false,
+        }
+    }
+}

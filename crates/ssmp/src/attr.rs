@@ -1,0 +1,173 @@
+//! Attributed telemetry: per-(region × pipeline-stage) counters.
+//!
+//! When attribution is enabled on a [`crate::Machine`], every simulated
+//! cache miss, page fault, invalidation and lock wait is charged — in
+//! addition to the per-context aggregate counters — to an [`AttrCell`]
+//! keyed by the [`Region`] the access hit and the pipeline stage the
+//! processor was executing. The increments are placed at exactly the same
+//! program points as the aggregate increments, so the per-region counters
+//! *tile* the aggregates: summing any counter over all regions and slots
+//! reproduces the corresponding [`bh_core::env::CtxStats`] field exactly.
+//!
+//! Attribution never touches the virtual clock, so enabling it cannot
+//! change any simulated timing; disabling it reduces the hooks to a
+//! never-taken `Option` check on the slow paths only.
+
+use bh_core::env::{Phase, Region};
+
+/// Number of pipeline-stage slots: the four phases plus one slot for
+/// activity outside any phase (setup, inter-step glue).
+pub const ATTR_SLOTS: usize = 5;
+
+/// The slot charged while the processor is outside any [`Phase`].
+pub const SETUP_SLOT: usize = ATTR_SLOTS - 1;
+
+/// Stable lower-case name of a pipeline-stage slot.
+pub fn slot_name(slot: usize) -> &'static str {
+    match slot {
+        0..=3 => Phase::ALL[slot].name(),
+        _ => "setup",
+    }
+}
+
+/// Counters for one (region × stage) cell. Fields that mirror an aggregate
+/// [`bh_core::env::CtxStats`] field tile it exactly; `invalidations` is
+/// attribution-only (invalidation messages that killed a resident line in
+/// this processor's private cache — the coherence traffic the aggregate
+/// stats fold into miss latencies).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AttrCell {
+    /// Misses served from local memory (tiles `local_misses`).
+    pub local_misses: u64,
+    /// Misses served remotely (tiles `remote_misses`).
+    pub remote_misses: u64,
+    /// Software page faults (tiles `page_faults`).
+    pub page_faults: u64,
+    /// Invalidations received that dropped a resident line.
+    pub invalidations: u64,
+    /// Lock acquisitions on locks guarding this region (tiles
+    /// `lock_acquires`).
+    pub lock_acquires: u64,
+    /// Cycles waited on locks guarding this region (tiles `lock_wait`).
+    pub lock_wait: u64,
+}
+
+impl AttrCell {
+    /// Field-wise accumulation.
+    pub fn accumulate(&mut self, o: &AttrCell) {
+        self.local_misses += o.local_misses;
+        self.remote_misses += o.remote_misses;
+        self.page_faults += o.page_faults;
+        self.invalidations += o.invalidations;
+        self.lock_acquires += o.lock_acquires;
+        self.lock_wait += o.lock_wait;
+    }
+
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == AttrCell::default()
+    }
+}
+
+/// One processor's attribution table: an [`AttrCell`] per
+/// (region, pipeline-stage slot) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrTable {
+    cells: Box<[AttrCell]>,
+}
+
+impl AttrTable {
+    pub fn new() -> AttrTable {
+        AttrTable {
+            cells: vec![AttrCell::default(); Region::COUNT * ATTR_SLOTS].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn idx(region: Region, slot: usize) -> usize {
+        debug_assert!(slot < ATTR_SLOTS);
+        region.index() * ATTR_SLOTS + slot
+    }
+
+    #[inline]
+    pub fn cell(&self, region: Region, slot: usize) -> &AttrCell {
+        &self.cells[Self::idx(region, slot)]
+    }
+
+    #[inline]
+    pub fn cell_mut(&mut self, region: Region, slot: usize) -> &mut AttrCell {
+        &mut self.cells[Self::idx(region, slot)]
+    }
+
+    /// Sum over all stage slots for one region.
+    pub fn region_total(&self, region: Region) -> AttrCell {
+        let mut t = AttrCell::default();
+        for slot in 0..ATTR_SLOTS {
+            t.accumulate(self.cell(region, slot));
+        }
+        t
+    }
+
+    /// Sum over all regions for one stage slot.
+    pub fn slot_total(&self, slot: usize) -> AttrCell {
+        let mut t = AttrCell::default();
+        for region in Region::ALL {
+            t.accumulate(self.cell(region, slot));
+        }
+        t
+    }
+
+    /// Grand total over every cell. By the tiling property this equals the
+    /// processor's aggregate counters for the mirrored fields.
+    pub fn total(&self) -> AttrCell {
+        let mut t = AttrCell::default();
+        for c in self.cells.iter() {
+            t.accumulate(c);
+        }
+        t
+    }
+
+    /// Field-wise accumulation of another table (e.g. summing processors).
+    pub fn accumulate(&mut self, o: &AttrTable) {
+        for (c, oc) in self.cells.iter_mut().zip(o.cells.iter()) {
+            c.accumulate(oc);
+        }
+    }
+}
+
+impl Default for AttrTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_cover_phases_plus_setup() {
+        assert_eq!(ATTR_SLOTS, Phase::ALL.len() + 1);
+        for p in Phase::ALL {
+            assert_eq!(slot_name(p.index()), p.name());
+        }
+        assert_eq!(slot_name(SETUP_SLOT), "setup");
+    }
+
+    #[test]
+    fn table_indexing_and_totals() {
+        let mut t = AttrTable::new();
+        t.cell_mut(Region::TreeCells, 0).remote_misses = 3;
+        t.cell_mut(Region::TreeCells, SETUP_SLOT).remote_misses = 2;
+        t.cell_mut(Region::Bodies, 2).local_misses = 7;
+        assert_eq!(t.region_total(Region::TreeCells).remote_misses, 5);
+        assert_eq!(t.slot_total(0).remote_misses, 3);
+        assert_eq!(t.total().remote_misses, 5);
+        assert_eq!(t.total().local_misses, 7);
+        assert!(t.cell(Region::FlatTree, 1).is_zero());
+        let mut sum = AttrTable::new();
+        sum.accumulate(&t);
+        sum.accumulate(&t);
+        assert_eq!(sum.total().remote_misses, 10);
+    }
+}

@@ -82,9 +82,11 @@ impl PrivateCache {
         None
     }
 
+    /// Drop a grain; returns whether a resident line was actually killed
+    /// (attribution counts real coherence kills, not redundant messages).
     #[inline]
-    pub fn invalidate(&mut self, grain: u64) {
-        self.map.remove(&grain);
+    pub fn invalidate(&mut self, grain: u64) -> bool {
+        self.map.remove(&grain).is_some()
     }
 
     /// Downgrade exclusive → shared (another processor read the line).

@@ -22,10 +22,12 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod attr;
 pub mod cache;
 pub mod config;
 pub mod machine;
 pub mod platform;
 
+pub use attr::{slot_name, AttrCell, AttrTable, ATTR_SLOTS, SETUP_SLOT};
 pub use config::{CostModel, Protocol};
 pub use machine::{Machine, SimCtx};

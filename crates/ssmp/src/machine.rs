@@ -25,13 +25,15 @@
 //!   epoch, forcing lazy revalidation of every cached page on first use —
 //!   pages that actually changed pay a full software page fault.
 
+use crate::attr::{AttrTable, SETUP_SLOT};
 use crate::cache::GrainMap;
 use crate::cache::{Held, PageEntry, PageTable, PrivateCache};
 use crate::config::CostModel;
-use bh_core::env::{CtxStats, Env, Phase, Placement, VAddr};
+use bh_core::env::{CtxStats, Env, Phase, Placement, Region, VAddr};
+use bh_core::shared::RegionMap;
 use bh_core::sync::{Mutex, RawLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 
 const SHARDS: usize = 256;
 const LOCK_TABLE: usize = 4096;
@@ -104,6 +106,20 @@ pub struct Machine {
     next_local: Box<[AtomicU64]>,
     /// HLRC: total write notices (dirty-page flushes) issued system-wide.
     notices: AtomicU64,
+    /// Attributed telemetry enabled? Set before the machine is shared (see
+    /// [`Machine::with_attribution`]); when false the hooks reduce to a
+    /// never-taken `Option` check on the slow paths.
+    attribution: bool,
+    /// Region registry. Tagging happens single-threaded during world/tree
+    /// setup; each context snapshots the `Arc` at [`Env::make_ctx`], so the
+    /// hot path reads the map without taking this mutex (copy-on-write).
+    regions: Mutex<Arc<RegionMap>>,
+    /// Per-processor mirrors of each context's attribution table, refreshed
+    /// on every [`Env::stats`] call. Contexts are owned by the worker
+    /// closures and unreachable after a run; the application snapshots
+    /// stats at every phase boundary and at run end, so the mirror is
+    /// complete once the run returns.
+    attr_mirror: Box<[Mutex<AttrTable>]>,
 }
 
 /// Per-processor context (cache/page table, clock, statistics).
@@ -122,6 +138,26 @@ pub struct SimCtx {
     lock_acquires: u64,
     lock_wait: u64,
     barrier_wait: u64,
+    /// Attribution state; `None` when attribution is disabled.
+    attr: Option<Box<SimAttr>>,
+}
+
+/// Attribution state of one context (allocated only when enabled).
+struct SimAttr {
+    /// Snapshot of the machine's region registry at context creation.
+    regions: Arc<RegionMap>,
+    /// Current pipeline-stage slot ([`SETUP_SLOT`] outside any phase).
+    slot: usize,
+    table: AttrTable,
+}
+
+impl SimAttr {
+    /// Charge one attributed event at `addr` via `f`. Never touches the
+    /// clock: attribution cannot change simulated timings.
+    #[inline]
+    fn charge(&mut self, addr: VAddr, f: impl FnOnce(&mut crate::attr::AttrCell)) {
+        f(self.table.cell_mut(self.regions.lookup(addr), self.slot))
+    }
 }
 
 impl Machine {
@@ -159,7 +195,39 @@ impl Machine {
                 .map(|p| AtomicU64::new((p as u64 + 1) << LOCAL_SHIFT))
                 .collect(),
             notices: AtomicU64::new(0),
+            attribution: false,
+            regions: Mutex::new(Arc::new(RegionMap::new())),
+            attr_mirror: (0..procs).map(|_| Mutex::new(AttrTable::new())).collect(),
         }
+    }
+
+    /// Enable attributed telemetry: every simulated miss, fault,
+    /// invalidation and lock wait is additionally charged to a
+    /// (region × pipeline stage) cell. Must be called before the machine is
+    /// shared with workers. Attribution never touches the virtual clock, so
+    /// all simulated timings and counters are bitwise identical to a
+    /// machine without it.
+    pub fn with_attribution(mut self) -> Machine {
+        self.attribution = true;
+        self
+    }
+
+    /// Whether attributed telemetry is enabled.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attribution
+    }
+
+    /// Per-processor attribution tables as of each processor's most recent
+    /// [`Env::stats`] snapshot (the application snapshots at every phase
+    /// boundary and at run end). `None` when attribution is disabled.
+    pub fn attribution(&self) -> Option<Vec<AttrTable>> {
+        self.attribution
+            .then(|| self.attr_mirror.iter().map(|m| m.lock().clone()).collect())
+    }
+
+    /// Current snapshot of the region registry.
+    pub fn region_map(&self) -> Arc<RegionMap> {
+        self.regions.lock().clone()
     }
 
     pub fn cost_model(&self) -> &CostModel {
@@ -195,9 +263,16 @@ impl Machine {
     fn drain(&self, ctx: &mut SimCtx) {
         if self.queues[ctx.proc].flag.swap(false, Ordering::AcqRel) {
             let msgs = std::mem::take(&mut *self.queues[ctx.proc].msgs.lock());
+            let grain_bytes = self.cost.grain as u64;
             for m in msgs {
                 match m {
-                    QMsg::Invalidate(g) => ctx.cache.invalidate(g),
+                    QMsg::Invalidate(g) => {
+                        if ctx.cache.invalidate(g) {
+                            if let Some(a) = ctx.attr.as_deref_mut() {
+                                a.charge(g * grain_bytes, |c| c.invalidations += 1);
+                            }
+                        }
+                    }
                     QMsg::Downgrade(g) => ctx.cache.downgrade(g),
                 }
             }
@@ -281,10 +356,19 @@ impl Machine {
                 drop(shard);
                 ctx.cache.put(grain, Held::Shared);
             }
+            // Attribution uses the first accessed byte within the grain —
+            // an access targets one element, which lives in one region.
+            let rep = addr.max(grain * grain_bytes);
             if cost >= self.cost.t_remote_miss && !home_local {
                 ctx.remote_misses += 1;
+                if let Some(a) = ctx.attr.as_deref_mut() {
+                    a.charge(rep, |c| c.remote_misses += 1);
+                }
             } else {
                 ctx.local_misses += 1;
+                if let Some(a) = ctx.attr.as_deref_mut() {
+                    a.charge(rep, |c| c.local_misses += 1);
+                }
             }
             ctx.clock += cost;
         }
@@ -320,6 +404,9 @@ impl Machine {
                         // Page was modified by someone else: software fault,
                         // serialized at the page's home (handler occupancy).
                         self.fault(ctx, page);
+                        if let Some(a) = ctx.attr.as_deref_mut() {
+                            a.charge(addr.max(page * grain_bytes), |c| c.page_faults += 1);
+                        }
                         ctx.pages.set(
                             page,
                             PageEntry {
@@ -333,11 +420,18 @@ impl Machine {
                         // Cold map-in. Locally homed fresh pages are cheap;
                         // anything else is a fault.
                         let home_local = self.home_of(page * grain_bytes) == ctx.proc;
+                        let rep = addr.max(page * grain_bytes);
                         if gv == 0 && home_local {
                             ctx.clock += self.cost.t_local_miss;
                             ctx.local_misses += 1;
+                            if let Some(a) = ctx.attr.as_deref_mut() {
+                                a.charge(rep, |c| c.local_misses += 1);
+                            }
                         } else {
                             self.fault(ctx, page);
+                            if let Some(a) = ctx.attr.as_deref_mut() {
+                                a.charge(rep, |c| c.page_faults += 1);
+                            }
                         }
                         ctx.pages.set(
                             page,
@@ -446,6 +540,13 @@ impl Env for Machine {
             lock_acquires: 0,
             lock_wait: 0,
             barrier_wait: 0,
+            attr: self.attribution.then(|| {
+                Box::new(SimAttr {
+                    regions: self.regions.lock().clone(),
+                    slot: SETUP_SLOT,
+                    table: AttrTable::new(),
+                })
+            }),
         }
     }
 
@@ -572,6 +673,14 @@ impl Env for Machine {
         let wait = gap.min(bound).max(transfer) + self.cost.t_lock;
         ctx.lock_wait += wait;
         ctx.clock += wait;
+        if let Some(a) = ctx.attr.as_deref_mut() {
+            // Lock activity is attributed to the region the lock protects
+            // (free-list locks → allocator, node locks → cells), not to an
+            // address: lock slots live outside the simulated address space.
+            let c = a.table.cell_mut(Region::of_lock(lock), a.slot);
+            c.lock_acquires += 1;
+            c.lock_wait += wait;
+        }
         vt.acquire_clock = ctx.clock;
         drop(vt);
         self.acquire_epoch(ctx);
@@ -612,21 +721,43 @@ impl Env for Machine {
         }
     }
 
-    fn phase_begin(&self, _ctx: &mut SimCtx, _phase: Phase, _step: u32) {
+    fn phase_begin(&self, ctx: &mut SimCtx, phase: Phase, _step: u32) {
         // Phase boundaries are free in every cost model: the real protocol
         // work (invalidation drains, epoch opens) rides on the barriers the
-        // application already executes at those boundaries. The hook exists
-        // so a `TraceEnv` wrapped around the machine sees spans measured in
-        // simulated cycles.
+        // application already executes at those boundaries. Attribution
+        // only moves its stage pointer (charging nothing).
+        if let Some(a) = ctx.attr.as_deref_mut() {
+            a.slot = phase.index();
+        }
     }
 
-    fn phase_end(&self, _ctx: &mut SimCtx, _phase: Phase, _step: u32) {}
+    fn phase_end(&self, ctx: &mut SimCtx, _phase: Phase, _step: u32) {
+        if let Some(a) = ctx.attr.as_deref_mut() {
+            a.slot = SETUP_SLOT;
+        }
+    }
+
+    fn tag_region(&self, base: VAddr, bytes: u64, region: Region) {
+        if !self.attribution {
+            return;
+        }
+        // Copy-on-write: contexts snapshot the Arc at creation, so the
+        // (setup-time, single-threaded) tagging path pays for the copy and
+        // the per-access lookup path stays lock-free.
+        let mut guard = self.regions.lock();
+        let mut map = (**guard).clone();
+        map.insert(base, bytes, region);
+        *guard = Arc::new(map);
+    }
 
     fn now(&self, ctx: &SimCtx) -> u64 {
         ctx.clock
     }
 
     fn stats(&self, ctx: &SimCtx) -> CtxStats {
+        if let Some(a) = ctx.attr.as_deref() {
+            self.attr_mirror[ctx.proc].lock().clone_from(&a.table);
+        }
         CtxStats {
             time: ctx.clock,
             lock_acquires: ctx.lock_acquires,
@@ -1005,6 +1136,82 @@ mod tests {
         assert_eq!(hist.len(), 1);
         assert_eq!(hist[0].acquires, 1);
         assert_eq!(hist[0].wait_total, traced.stats(&ctx).lock_wait);
+    }
+
+    #[test]
+    fn attribution_tiles_and_never_touches_the_clock() {
+        use crate::attr::SETUP_SLOT;
+        // Identical operation sequences on a plain and an attributed
+        // machine: clocks and aggregate stats must be bitwise identical;
+        // the attributed one additionally localizes every event.
+        let ops = |m: &Machine| {
+            let a = m.alloc(256, 64, Placement::Global);
+            let b = m.alloc(256, 64, Placement::Local(1));
+            m.tag_region(a, 256, Region::Bodies);
+            m.tag_region(b, 256, Region::TreeCells);
+            let mut ctx = m.make_ctx(0);
+            m.phase_begin(&mut ctx, Phase::Tree, 0);
+            m.read(&mut ctx, a, 8);
+            m.write(&mut ctx, b, 8);
+            m.lock(&mut ctx, 70); // node lock -> tree-cells
+            m.unlock(&mut ctx, 70);
+            m.phase_end(&mut ctx, Phase::Tree, 0);
+            m.lock(&mut ctx, 3); // free-list lock -> tree-alloc
+            m.unlock(&mut ctx, 3);
+            let untagged = m.alloc(64, 64, Placement::Local(1));
+            m.read(&mut ctx, untagged, 8);
+            (ctx.clock, m.stats(&ctx))
+        };
+        let plain = origin(2);
+        let attributed = Machine::new(platform::origin2000(2), 2).with_attribution();
+        let (clock_plain, stats_plain) = ops(&plain);
+        let (clock_attr, stats_attr) = ops(&attributed);
+        assert_eq!(clock_plain, clock_attr, "attribution changed the clock");
+        assert_eq!(stats_plain, stats_attr, "attribution changed aggregates");
+        assert!(plain.attribution().is_none());
+
+        let tables = attributed.attribution().expect("attribution enabled");
+        let t = &tables[0];
+        let tree = Phase::Tree.index();
+        let bodies = t.cell(Region::Bodies, tree);
+        assert_eq!(bodies.local_misses + bodies.remote_misses, 1);
+        let cells = t.cell(Region::TreeCells, tree);
+        assert_eq!(cells.remote_misses, 1, "Local(1) write from proc 0");
+        assert_eq!(cells.lock_acquires, 1);
+        assert_eq!(t.cell(Region::TreeAlloc, SETUP_SLOT).lock_acquires, 1);
+        let other = t.cell(Region::Other, SETUP_SLOT);
+        assert_eq!(other.remote_misses, 1, "untagged access lands in other");
+        // The tiling property: totals reproduce the aggregates exactly.
+        let total = t.total();
+        assert_eq!(total.local_misses, stats_attr.local_misses);
+        assert_eq!(total.remote_misses, stats_attr.remote_misses);
+        assert_eq!(total.page_faults, stats_attr.page_faults);
+        assert_eq!(total.lock_acquires, stats_attr.lock_acquires);
+        assert_eq!(total.lock_wait, stats_attr.lock_wait);
+    }
+
+    #[test]
+    fn attribution_localizes_hlrc_faults() {
+        let m = Machine::new(platform::typhoon0_hlrc(2), 2).with_attribution();
+        let a = m.alloc(4096, 4096, Placement::Global);
+        m.tag_region(a, 4096, Region::FlatTree);
+        let mut c0 = m.make_ctx(0);
+        let mut c1 = m.make_ctx(1);
+        m.lock(&mut c1, 9);
+        m.write(&mut c1, a, 8);
+        m.unlock(&mut c1, 9);
+        m.lock(&mut c0, 9);
+        m.phase_begin(&mut c0, Phase::Force, 0);
+        m.read(&mut c0, a, 8); // faults on the modified page
+        m.phase_end(&mut c0, Phase::Force, 0);
+        m.unlock(&mut c0, 9);
+        let s0 = m.stats(&c0);
+        let s1 = m.stats(&c1);
+        let tables = m.attribution().unwrap();
+        let faults = tables[0].cell(Region::FlatTree, Phase::Force.index());
+        assert_eq!(faults.page_faults, 1, "fault attributed to flat-tree");
+        assert_eq!(tables[0].total().page_faults, s0.page_faults);
+        assert_eq!(tables[1].total().page_faults, s1.page_faults);
     }
 
     #[test]
