@@ -17,10 +17,11 @@ echo "== race-freedom matrix =="
 cargo test --offline -q --test race_freedom
 
 echo "== schedule-exploration verify lane =="
-# Seeded + round-robin schedule matrix over all five algorithms, plus the
+# Seeded + round-robin schedule matrix over all six algorithms (including
+# MORTON's bounded-exhaustive sort-and-emit kernel pass), plus the
 # publication-order mutation self-test (the explorer must find the
-# re-introduced bug). The bounded-exhaustive pass is #[ignore]d here and
-# runs on the paper-scale line below.
+# re-introduced bug). The full bounded-exhaustive pass is #[ignore]d here
+# and runs on the paper-scale line below.
 cargo test --offline -q --test schedule_matrix --test schedule_mutation
 
 echo "== build (release) =="
@@ -33,7 +34,7 @@ echo "== paper-scale ignored suites =="
 cargo test --offline -q --test platform_behavior --test race_freedom -- --ignored
 cargo test --offline -q --test schedule_matrix -- --ignored
 
-echo "== repro smoke run (batched sweep, --jobs 2) + emitted-JSON schema checks =="
+echo "== repro smoke run (batched sweep over all six algorithms, --jobs 2) + emitted-JSON schema checks =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 REPRO="$PWD/target/release/repro"

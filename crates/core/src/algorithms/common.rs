@@ -1,4 +1,4 @@
-//! Machinery shared by the five tree-building algorithms: the global bounds
+//! Machinery shared by the tree-building algorithms: the global bounds
 //! reduction, root creation, locked and private (lock-free) body insertion,
 //! and the parallel center-of-mass pass.
 

@@ -1,8 +1,10 @@
 //! The five parallel tree-building algorithms of Shan & Singh (IPPS 1998),
-//! plus shared machinery and a uniform dispatch layer.
+//! a sixth sort-based bulk builder (MORTON), plus shared machinery and a
+//! uniform dispatch layer.
 
 pub mod common;
 pub mod direct;
+pub mod morton;
 pub mod partree;
 pub mod space;
 pub mod update;
@@ -25,15 +27,20 @@ pub enum Algorithm {
     Partree,
     /// Spatial re-partitioning; lock-free build.
     Space,
+    /// Sort-based bulk construction: parallel radix sort of Morton keys,
+    /// then the flat tree is derived directly from the sorted key array —
+    /// no linked tree, no locks, no flatten pass.
+    Morton,
 }
 
 impl Algorithm {
-    pub const ALL: [Algorithm; 5] = [
+    pub const ALL: [Algorithm; 6] = [
         Algorithm::Orig,
         Algorithm::Local,
         Algorithm::Update,
         Algorithm::Partree,
         Algorithm::Space,
+        Algorithm::Morton,
     ];
 
     pub fn name(self) -> &'static str {
@@ -43,10 +50,13 @@ impl Algorithm {
             Algorithm::Update => "UPDATE",
             Algorithm::Partree => "PARTREE",
             Algorithm::Space => "SPACE",
+            Algorithm::Morton => "MORTON",
         }
     }
 
-    /// The storage layout each algorithm historically uses.
+    /// The storage layout each algorithm historically uses. MORTON never
+    /// builds the linked tree at all; its (unused) `SharedTree` is sized
+    /// per-processor like the other scalable algorithms.
     pub fn layout(self) -> TreeLayout {
         match self {
             Algorithm::Orig => TreeLayout::GlobalArena,
@@ -62,8 +72,16 @@ impl Algorithm {
             "UPDATE" => Some(Algorithm::Update),
             "PARTREE" | "MERGE" => Some(Algorithm::Partree),
             "SPACE" => Some(Algorithm::Space),
+            "MORTON" => Some(Algorithm::Morton),
             _ => None,
         }
+    }
+
+    /// MORTON builds the flat snapshot directly and never populates the
+    /// linked `SharedTree`; it requires the flat force walk and bypasses
+    /// the build/com/flatten pipeline of the other five algorithms.
+    pub fn builds_flat_directly(self) -> bool {
+        self == Algorithm::Morton
     }
 }
 
@@ -79,6 +97,7 @@ pub struct Builder {
     pub space_threshold: usize,
     pub space_rebalance: f64,
     update_scratch: Option<update::UpdateScratch>,
+    morton_scratch: Option<morton::MortonScratch>,
 }
 
 impl Builder {
@@ -94,7 +113,16 @@ impl Builder {
                 Algorithm::Update => Some(update::UpdateScratch::new(env, n)),
                 _ => None,
             },
+            morton_scratch: match alg {
+                Algorithm::Morton => Some(morton::MortonScratch::new(env, n)),
+                _ => None,
+            },
         }
+    }
+
+    /// The MORTON sort workspace; panics for other algorithms.
+    pub fn morton_scratch(&self) -> &morton::MortonScratch {
+        self.morton_scratch.as_ref().expect("MORTON scratch")
     }
 
     /// Override the SPACE subdivision threshold (ablation studies).
@@ -140,6 +168,9 @@ impl Builder {
                 let scratch = self.update_scratch.as_ref().expect("UPDATE scratch");
                 update::build(env, ctx, tree, world, scratch, proc, step, cube)
             }
+            Algorithm::Morton => {
+                unreachable!("MORTON builds the flat tree directly (see MortonTreeStage)")
+            }
         }
     }
 
@@ -158,6 +189,9 @@ impl Builder {
             Algorithm::Update => {
                 let scratch = self.update_scratch.as_ref().expect("UPDATE scratch");
                 update::com_phase(env, ctx, tree, world, scratch, proc, step)
+            }
+            Algorithm::Morton => {
+                unreachable!("MORTON computes centers of mass during emission")
             }
             _ => common::com_pass(env, ctx, tree, world, proc, step),
         }
@@ -191,8 +225,16 @@ mod tests {
             Algorithm::Update,
             Algorithm::Partree,
             Algorithm::Space,
+            Algorithm::Morton,
         ] {
             assert_eq!(alg.layout(), TreeLayout::PerProcessor);
+        }
+    }
+
+    #[test]
+    fn only_morton_builds_flat_directly() {
+        for alg in Algorithm::ALL {
+            assert_eq!(alg.builds_flat_directly(), alg == Algorithm::Morton);
         }
     }
 }

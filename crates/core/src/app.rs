@@ -127,8 +127,12 @@ pub struct ProcRecord {
     /// Time spent waiting at barriers during measured steps (Table 2).
     pub barrier_wait: u64,
     /// Time this processor spent in the flatten sub-phase of the tree phase
-    /// during measured steps (zero when `flat_force` is off).
+    /// during measured steps (zero when `flat_force` is off, and always
+    /// zero for MORTON, which never flattens).
     pub flatten_time: u64,
+    /// Time this processor spent in the parallel Morton key sort during
+    /// measured steps (nonzero only for MORTON).
+    pub sort_time: u64,
     pub final_stats: CtxStats,
 }
 
@@ -219,6 +223,17 @@ impl RunStats {
         self.procs_records
             .iter()
             .map(|r| r.flatten_time)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Time spent in the parallel Morton key sort (max over processors; the
+    /// sub-phase's critical path, already included in the tree phase;
+    /// nonzero only for MORTON).
+    pub fn sort_cycles(&self) -> u64 {
+        self.procs_records
+            .iter()
+            .map(|r| r.sort_time)
             .max()
             .unwrap_or(0)
     }
@@ -428,7 +443,11 @@ pub(crate) fn execute<E: Env>(
     // final update phase moves bodies after the tree was summarized).
     let tree_snapshot: crate::sync::Mutex<Option<Vec<crate::math::Vec3>>> =
         crate::sync::Mutex::new(None);
-    let pipeline: StepPipeline<E> = StepPipeline::standard();
+    assert!(
+        !cfg.algorithm.builds_flat_directly() || flat.is_some(),
+        "MORTON builds the flat snapshot directly and requires flat_force = true"
+    );
+    let pipeline: StepPipeline<E> = StepPipeline::for_algorithm(cfg.algorithm);
     let io = StageIo {
         cfg,
         world,
@@ -451,6 +470,7 @@ pub(crate) fn execute<E: Env>(
             tree_lock_wait: 0,
             barrier_wait: 0,
             flatten_time: 0,
+            sort_time: 0,
             final_stats: CtxStats::default(),
         };
         for step in 0..total_steps {
@@ -466,16 +486,28 @@ pub(crate) fn execute<E: Env>(
             .lock()
             .take()
             .unwrap_or_else(|| world.positions());
-        validate_with(
-            tree,
-            &positions,
-            &world.masses(),
-            ValidateOpts {
-                check_summaries: true,
-                allow_empty_cells: builder.may_leave_husks(),
-            },
-        )
-        .err()
+        if cfg.algorithm.builds_flat_directly() {
+            // MORTON never populates the linked tree; validate the flat
+            // snapshot against a sequential sort-then-emit reference.
+            crate::tree::validate::validate_flat_morton(
+                flat.expect("MORTON requires the flat snapshot"),
+                &positions,
+                &world.masses(),
+                cfg.k,
+            )
+            .err()
+        } else {
+            validate_with(
+                tree,
+                &positions,
+                &world.masses(),
+                ValidateOpts {
+                    check_summaries: true,
+                    allow_empty_cells: builder.may_leave_husks(),
+                },
+            )
+            .err()
+        }
     } else {
         None
     };

@@ -118,6 +118,12 @@ impl<E: Env> SimEngine<E> {
             None => crate::algorithms::space::default_threshold(n, env.num_procs(), cfg.k),
         };
         builder.space_rebalance = cfg.space_rebalance.max(0.0);
+        if cfg.algorithm.builds_flat_directly() {
+            // Like FlatTree::reset: keep reused-engine runs bitwise
+            // indistinguishable from fresh ones (each step overwrites every
+            // workspace slot it reads, so this is hygiene, not correctness).
+            builder.morton_scratch().reset();
+        }
 
         app::execute(
             env,

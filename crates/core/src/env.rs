@@ -119,6 +119,10 @@ pub enum Region {
     TreeAlloc,
     /// Flat SoA tree snapshot used by the force walk.
     FlatTree,
+    /// MORTON sort workspace: ping-pong key/index buffers, per-processor
+    /// digit histograms, cooperative rank/base arrays, and the emission
+    /// plan's publication arrays.
+    SortScratch,
     /// Anything not (yet) tagged: harness scratch, ad-hoc test
     /// allocations. Keeping a catch-all row makes the per-region tiling
     /// property unconditional.
@@ -136,11 +140,12 @@ impl Region {
         Region::TreeLeaves,
         Region::TreeAlloc,
         Region::FlatTree,
+        Region::SortScratch,
         Region::Other,
     ];
 
     /// Number of regions (length of [`Region::ALL`]).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Stable index into per-region arrays.
     #[inline]
@@ -154,7 +159,8 @@ impl Region {
             Region::TreeLeaves => 5,
             Region::TreeAlloc => 6,
             Region::FlatTree => 7,
-            Region::Other => 8,
+            Region::SortScratch => 8,
+            Region::Other => 9,
         }
     }
 
@@ -169,6 +175,7 @@ impl Region {
             Region::TreeLeaves => "tree-leaves",
             Region::TreeAlloc => "tree-alloc",
             Region::FlatTree => "flat-tree",
+            Region::SortScratch => "sort-scratch",
             Region::Other => "other",
         }
     }

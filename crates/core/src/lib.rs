@@ -8,8 +8,10 @@
 //!
 //! This crate contains the complete 3-D Barnes-Hut galaxy simulation and the
 //! paper's five parallel tree-building algorithms — ORIG, LOCAL, UPDATE,
-//! PARTREE and the paper's new lock-free SPACE algorithm — written once,
-//! generic over the [`env::Env`] shared-address-space abstraction. With
+//! PARTREE and the paper's new lock-free SPACE algorithm — plus a sixth,
+//! MORTON, which sorts bodies by Morton key and emits the flat force tree
+//! directly. All are written once, generic over the [`env::Env`]
+//! shared-address-space abstraction. With
 //! [`env::NativeEnv`] they run at full speed on host threads; with the
 //! `ssmp` crate's simulation environments the same code "runs on" the four
 //! platforms of the paper (SGI Challenge, SGI Origin 2000, Intel Paragon

@@ -17,7 +17,7 @@
 //! force stage's reads); partition, force and update each end with the
 //! phase-closing barrier.
 
-use crate::algorithms::Builder;
+use crate::algorithms::{morton, Algorithm, Builder};
 use crate::app::{PhaseSample, ProcRecord, SimConfig};
 use crate::env::{Env, Phase};
 use crate::force::{force_phase, force_phase_recursive};
@@ -43,16 +43,42 @@ pub struct StageIo<'a> {
     pub tree_snapshot: &'a Mutex<Option<Vec<Vec3>>>,
 }
 
+/// Sub-phase times a stage reports back to the accounting loop. Only the
+/// tree stages report nonzero values: the flatten pass of the linked-tree
+/// pipeline, or the key sort of the MORTON pipeline (never both).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageExtra {
+    /// Time spent in the cooperative flat-snapshot pass.
+    pub flatten: u64,
+    /// Time spent in the parallel Morton key sort.
+    pub sort: u64,
+}
+
+impl StageExtra {
+    pub const NONE: StageExtra = StageExtra {
+        flatten: 0,
+        sort: 0,
+    };
+}
+
 /// One phase of a simulation step, executed by every processor.
 pub trait StepStage<E: Env>: Send + Sync {
     /// The phase this stage's work (and accounting) is attributed to.
     fn phase(&self) -> Phase;
 
     /// Execute the stage for one processor. Stages own their barrier
-    /// structure (see the module docs). The return value is the stage's
-    /// sub-phase time to credit to [`ProcRecord::flatten_time`] (only the
-    /// tree stage reports a nonzero value).
-    fn run(&self, env: &E, ctx: &mut E::Ctx, io: &StageIo<'_>, proc: usize, step: u32) -> u64;
+    /// structure (see the module docs). The return value carries the
+    /// stage's sub-phase times, credited to [`ProcRecord::flatten_time`] /
+    /// [`ProcRecord::sort_time`] (only the tree stages report nonzero
+    /// values).
+    fn run(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        io: &StageIo<'_>,
+        proc: usize,
+        step: u32,
+    ) -> StageExtra;
 }
 
 /// An ordered list of stages plus the single copy of the per-phase
@@ -75,6 +101,22 @@ impl<E: Env> StepPipeline<E> {
             Box::new(ForceStage),
             Box::new(UpdateStage),
         ])
+    }
+
+    /// The pipeline for `alg`: the five linked-tree algorithms run the
+    /// standard stages; MORTON swaps in its sort-then-emit tree stage and
+    /// the cost-cut partition over the emitted body order.
+    pub fn for_algorithm(alg: Algorithm) -> StepPipeline<E> {
+        if alg.builds_flat_directly() {
+            StepPipeline::new(vec![
+                Box::new(MortonTreeStage),
+                Box::new(MortonPartitionStage),
+                Box::new(ForceStage),
+                Box::new(UpdateStage),
+            ])
+        } else {
+            StepPipeline::standard()
+        }
     }
 
     /// Run one full step for one processor, accumulating measurements into
@@ -105,7 +147,7 @@ impl<E: Env> StepPipeline<E> {
             // of the pool (see crate::harness::set_worker_phase).
             crate::harness::set_worker_phase(Some((phase, step)));
             env.phase_begin(ctx, phase, step);
-            let sub_time = stage.run(env, ctx, io, proc, step);
+            let extra = stage.run(env, ctx, io, proc, step);
             env.phase_end(ctx, phase, step);
             let t = env.now(ctx);
             let stats = env.stats(ctx);
@@ -121,7 +163,8 @@ impl<E: Env> StepPipeline<E> {
                     rec.tree_remote_misses += delta.remote_misses;
                     rec.tree_page_faults += delta.page_faults;
                     rec.tree_lock_wait += delta.lock_wait;
-                    rec.flatten_time += sub_time;
+                    rec.flatten_time += extra.flatten;
+                    rec.sort_time += extra.sort;
                 }
             }
             prev_stats = stats;
@@ -144,7 +187,14 @@ impl<E: Env> StepStage<E> for TreeStage {
         Phase::Tree
     }
 
-    fn run(&self, env: &E, ctx: &mut E::Ctx, io: &StageIo<'_>, proc: usize, step: u32) -> u64 {
+    fn run(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        io: &StageIo<'_>,
+        proc: usize,
+        step: u32,
+    ) -> StageExtra {
         let cfg = io.cfg;
         if cfg.morton_every > 0 && (step as usize).is_multiple_of(cfg.morton_every) {
             morton_reorder(env, ctx, io.world, proc);
@@ -170,7 +220,88 @@ impl<E: Env> StepStage<E> for TreeStage {
         if cfg.validate && proc == 0 && step as usize + 1 == io.total_steps {
             *io.tree_snapshot.lock() = Some(io.world.positions());
         }
-        flatten_t
+        StageExtra {
+            flatten: flatten_t,
+            sort: 0,
+        }
+    }
+}
+
+/// MORTON tree-build phase: bounds reduction, parallel radix sort of the
+/// Morton keys, then direct emission of the flat snapshot from the sorted
+/// key array — no linked tree, no flatten, no locks.
+struct MortonTreeStage;
+
+impl<E: Env> StepStage<E> for MortonTreeStage {
+    fn phase(&self) -> Phase {
+        Phase::Tree
+    }
+
+    fn run(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        io: &StageIo<'_>,
+        proc: usize,
+        step: u32,
+    ) -> StageExtra {
+        let cfg = io.cfg;
+        let flat = io
+            .flat
+            .expect("MORTON requires the flat force walk (flat_force = true)");
+        let scratch = io.builder.morton_scratch();
+        // No periodic Morton reorder: the emitted body order *is* the
+        // Morton order, refreshed every step by the partition stage.
+        let cube = crate::algorithms::common::bounds_phase(env, ctx, io.world, proc);
+        let s0 = env.now(ctx);
+        morton::sort_keys(env, ctx, io.world, scratch, &cube, proc);
+        let sort_t = env.now(ctx) - s0;
+        // Emission: plan is deterministic and identical on every
+        // processor; owners publish counts, a barrier, disjoint fill,
+        // another barrier, then processor 0 summarizes the spine. The
+        // partition stage's closing barrier separates the spine writes
+        // from the force phase's reads (the partition itself reads only
+        // `flat.bodies`, complete since the post-fill barrier).
+        let plan = morton::plan(env, ctx, scratch, io.world.n, cfg.k, cube);
+        let owned = morton::publish_counts(env, ctx, scratch, &plan, cfg.k, proc);
+        env.barrier(ctx);
+        morton::fill(env, ctx, flat, io.world, scratch, &plan, &owned, cfg.k);
+        env.barrier(ctx);
+        if proc == 0 {
+            morton::fill_spine(env, ctx, flat, scratch, &plan);
+        }
+        if cfg.validate && proc == 0 && step as usize + 1 == io.total_steps {
+            *io.tree_snapshot.lock() = Some(io.world.positions());
+        }
+        StageExtra {
+            flatten: 0,
+            sort: sort_t,
+        }
+    }
+}
+
+/// MORTON partitioning: a cost-weighted cut of the emitted depth-first
+/// body order (costzones without the tree walk).
+struct MortonPartitionStage;
+
+impl<E: Env> StepStage<E> for MortonPartitionStage {
+    fn phase(&self) -> Phase {
+        Phase::Partition
+    }
+
+    fn run(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        io: &StageIo<'_>,
+        proc: usize,
+        _step: u32,
+    ) -> StageExtra {
+        let flat = io.flat.expect("MORTON requires the flat snapshot");
+        let scratch = io.builder.morton_scratch();
+        morton::partition(env, ctx, flat, io.world, scratch, proc);
+        env.barrier(ctx);
+        StageExtra::NONE
     }
 }
 
@@ -182,10 +313,17 @@ impl<E: Env> StepStage<E> for PartitionStage {
         Phase::Partition
     }
 
-    fn run(&self, env: &E, ctx: &mut E::Ctx, io: &StageIo<'_>, proc: usize, _step: u32) -> u64 {
+    fn run(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        io: &StageIo<'_>,
+        proc: usize,
+        _step: u32,
+    ) -> StageExtra {
         costzones(env, ctx, io.tree, io.world, proc);
         env.barrier(ctx);
-        0
+        StageExtra::NONE
     }
 }
 
@@ -198,13 +336,20 @@ impl<E: Env> StepStage<E> for ForceStage {
         Phase::Force
     }
 
-    fn run(&self, env: &E, ctx: &mut E::Ctx, io: &StageIo<'_>, proc: usize, _step: u32) -> u64 {
+    fn run(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        io: &StageIo<'_>,
+        proc: usize,
+        _step: u32,
+    ) -> StageExtra {
         match io.flat {
             Some(flat) => force_phase(env, ctx, flat, io.world, &io.cfg.force, proc),
             None => force_phase_recursive(env, ctx, io.tree, io.world, &io.cfg.force, proc),
         }
         env.barrier(ctx);
-        0
+        StageExtra::NONE
     }
 }
 
@@ -216,10 +361,17 @@ impl<E: Env> StepStage<E> for UpdateStage {
         Phase::Update
     }
 
-    fn run(&self, env: &E, ctx: &mut E::Ctx, io: &StageIo<'_>, proc: usize, _step: u32) -> u64 {
+    fn run(
+        &self,
+        env: &E,
+        ctx: &mut E::Ctx,
+        io: &StageIo<'_>,
+        proc: usize,
+        _step: u32,
+    ) -> StageExtra {
         update_phase(env, ctx, io.world, proc, io.cfg.dt);
         env.barrier(ctx);
-        0
+        StageExtra::NONE
     }
 }
 
@@ -236,5 +388,18 @@ mod tests {
             phases,
             vec![Phase::Tree, Phase::Partition, Phase::Force, Phase::Update]
         );
+    }
+
+    #[test]
+    fn every_algorithm_pipeline_covers_all_phases_in_order() {
+        for alg in Algorithm::ALL {
+            let p: StepPipeline<NativeEnv> = StepPipeline::for_algorithm(alg);
+            let phases: Vec<Phase> = p.stages.iter().map(|s| s.phase()).collect();
+            assert_eq!(
+                phases,
+                vec![Phase::Tree, Phase::Partition, Phase::Force, Phase::Update],
+                "{alg} pipeline"
+            );
+        }
     }
 }

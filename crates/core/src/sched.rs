@@ -1422,7 +1422,7 @@ pub struct MatrixSpec {
 }
 
 impl MatrixSpec {
-    /// The pre-merge configuration: all five algorithms, 2 processors,
+    /// The pre-merge configuration: all six algorithms, 2 processors,
     /// round-robin plus a small seeded sample, tiny workload.
     pub fn fast(seeds: usize) -> MatrixSpec {
         MatrixSpec {

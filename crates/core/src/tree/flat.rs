@@ -192,6 +192,41 @@ impl FlatTree {
         }
     }
 
+    /// Construct-in-place entry point: store one node record (timed).
+    /// Used by builders that emit the snapshot directly (MORTON) instead
+    /// of flattening a linked tree.
+    #[inline]
+    pub fn put_node<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, node: FlatNode) {
+        self.nodes.store(env, ctx, i, node);
+    }
+
+    /// Construct-in-place entry point: store one CSR child slot (timed).
+    #[inline]
+    pub fn put_kid<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, kid: u32) {
+        self.kids.store(env, ctx, i, kid);
+    }
+
+    /// Construct-in-place entry point: store one CSR leaf body (timed).
+    #[inline]
+    pub fn put_body<E: Env>(&self, env: &E, ctx: &mut E::Ctx, i: usize, body: u32) {
+        self.bodies.store(env, ctx, i, body);
+    }
+
+    /// Capacity of the node array (direct builders assert against it).
+    pub fn node_capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Capacity of the CSR child-slot array.
+    pub fn kid_capacity(&self) -> usize {
+        self.kids.len()
+    }
+
+    /// Capacity of the CSR leaf-body array.
+    pub fn body_capacity(&self) -> usize {
+        self.bodies.len()
+    }
+
     /// Phase 1 of the flatten: compute the deterministic plan. Identical on
     /// every processor (all inputs are post-barrier immutable tree state).
     pub fn plan<E: Env>(&self, env: &E, ctx: &mut E::Ctx, tree: &SharedTree) -> FlatPlan {

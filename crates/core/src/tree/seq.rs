@@ -3,7 +3,7 @@
 //! This is the "best sequential version of the application" the paper uses
 //! as the baseline for all speedups: a plain single-threaded Barnes-Hut tree
 //! with no locks, no shared-memory bookkeeping, and no environment plumbing.
-//! It doubles as the correctness oracle for the five parallel algorithms —
+//! It doubles as the correctness oracle for the parallel algorithms —
 //! for a given body set and leaf threshold the octree structure is unique,
 //! so the parallel trees must match it exactly.
 

@@ -2,7 +2,9 @@
 //! with the sequential reference tree. Used by tests and by the experiment
 //! harness's self-checks (every platform run validates the tree it built).
 
-use crate::math::Vec3;
+use crate::math::morton::{key_in_cube, MORTON_BITS};
+use crate::math::{Aabb, Cube, Vec3};
+use crate::tree::flat::FlatTree;
 use crate::tree::seq::SeqTree;
 use crate::tree::types::{NodeRef, SharedTree};
 
@@ -262,6 +264,191 @@ fn walk(
         },
         count,
     ))
+}
+
+/// Validate a flat snapshot built *directly* by the MORTON sort-then-emit
+/// path against a sequential reference derived the same way: sort the
+/// (quantized Morton key, body id) pairs, then the tree is the unique
+/// recursive range partition that splits ranges of more than `k` bodies.
+/// Using the same quantized routing as the parallel builder (rather than
+/// the floating-point `SeqTree` descent) keeps the comparison exact — the
+/// two routings can disagree for bodies within rounding distance of an
+/// octant plane.
+///
+/// Checks, per node walked from flat index 0 (always the root):
+/// leaf/cell decision matches the split rule, leaves hold exactly the
+/// reference range's bodies in ascending id order at CSR offset `lo`,
+/// cells have one child per nonempty octant sub-range in octant order,
+/// cube geometry follows `octant()` subdivision from the enclosing root
+/// cube, and mass / center-of-mass summaries recompute bottom-up.
+pub fn validate_flat_morton(
+    flat: &FlatTree,
+    positions: &[Vec3],
+    masses: &[f64],
+    k: usize,
+) -> Result<TreeSummary, String> {
+    let n = positions.len();
+    if n == 0 {
+        return Err("MORTON validation needs at least one body".into());
+    }
+    // Bitwise identical to the parallel bounds reduction: min/max are exact
+    // and order-independent.
+    let cube = Cube::enclosing(&Aabb::from_points(positions.iter().copied()));
+    let mut pairs: Vec<(u64, u32)> = positions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (key_in_cube(*p, &cube), i as u32))
+        .collect();
+    pairs.sort_unstable();
+
+    let mut summary = TreeSummary {
+        cells: 0,
+        leaves: 0,
+        bodies: 0,
+        depth: 0,
+        mass: 0.0,
+    };
+    let r = FlatMortonRef {
+        flat,
+        pairs: &pairs,
+        positions,
+        masses,
+        k,
+    };
+    let (mass, _com) = r.walk(0, 0, n, 0, cube, &mut summary)?;
+    summary.mass = mass;
+    if summary.bodies != n {
+        return Err(format!(
+            "flat tree holds {} bodies, expected {n}",
+            summary.bodies
+        ));
+    }
+    Ok(summary)
+}
+
+struct FlatMortonRef<'a> {
+    flat: &'a FlatTree,
+    pairs: &'a [(u64, u32)],
+    positions: &'a [Vec3],
+    masses: &'a [f64],
+    k: usize,
+}
+
+impl FlatMortonRef<'_> {
+    /// Walk flat node `idx`, expected to cover sorted range `[lo, hi)` at
+    /// `depth` inside `cube`. Returns (mass, com).
+    fn walk(
+        &self,
+        idx: usize,
+        lo: usize,
+        hi: usize,
+        depth: u32,
+        cube: Cube,
+        summary: &mut TreeSummary,
+    ) -> Result<(f64, Vec3), String> {
+        if idx >= self.flat.node_capacity() {
+            return Err(format!("flat node index {idx} out of bounds"));
+        }
+        summary.depth = summary.depth.max(depth as usize);
+        let node = self.flat.nodes.peek(idx);
+        let count = hi - lo;
+        let tol = 1e-9 * (1.0 + cube.half);
+        if (node.half - cube.half).abs() > tol {
+            return Err(format!(
+                "flat node {idx} half {} != expected {}",
+                node.half, cube.half
+            ));
+        }
+        let should_be_leaf = count <= self.k || depth >= MORTON_BITS;
+        if node.is_leaf() != should_be_leaf {
+            return Err(format!(
+                "flat node {idx} is_leaf={} but range [{lo}, {hi}) at depth {depth} \
+                 expects leaf={should_be_leaf} (k={})",
+                node.is_leaf(),
+                self.k
+            ));
+        }
+        let mut mass = 0.0;
+        let mut weighted = Vec3::ZERO;
+        if node.is_leaf() {
+            summary.leaves += 1;
+            summary.bodies += count;
+            if node.count() as usize != count {
+                return Err(format!(
+                    "flat leaf {idx} count {} != range size {count}",
+                    node.count()
+                ));
+            }
+            if node.first as usize != lo {
+                return Err(format!(
+                    "flat leaf {idx} CSR offset {} != sorted range start {lo}",
+                    node.first
+                ));
+            }
+            let mut expect: Vec<u32> = self.pairs[lo..hi].iter().map(|&(_, id)| id).collect();
+            expect.sort_unstable();
+            for (j, &id) in expect.iter().enumerate() {
+                let got = self.flat.bodies.peek(lo + j);
+                if got != id {
+                    return Err(format!(
+                        "flat leaf {idx} body slot {} holds {got}, expected {id} \
+                         (ascending id order)",
+                        lo + j
+                    ));
+                }
+                mass += self.masses[id as usize];
+                weighted += self.positions[id as usize] * self.masses[id as usize];
+            }
+        } else {
+            summary.cells += 1;
+            // Reference octant sub-ranges of [lo, hi).
+            let shift = 3 * (MORTON_BITS - 1 - depth);
+            let prefix = self.pairs[lo].0 & !(((1u64 << 3) << shift) - 1);
+            let mut subs: Vec<(usize, usize, usize)> = Vec::new();
+            let mut start = lo;
+            for oct in 0..8usize {
+                let end = if oct == 7 {
+                    hi
+                } else {
+                    let bound = prefix + ((oct as u64 + 1) << shift);
+                    start + self.pairs[start..hi].partition_point(|&(key, _)| key < bound)
+                };
+                if end > start {
+                    subs.push((oct, start, end));
+                }
+                start = end;
+            }
+            if node.count() as usize != subs.len() {
+                return Err(format!(
+                    "flat cell {idx} has {} children, expected {} nonempty octants",
+                    node.count(),
+                    subs.len()
+                ));
+            }
+            for (off, &(oct, clo, chi)) in subs.iter().enumerate() {
+                let slot = node.first as usize + off;
+                if slot >= self.flat.kid_capacity() {
+                    return Err(format!("flat cell {idx} kid slot {slot} out of bounds"));
+                }
+                let kid = self.flat.kids.peek(slot) as usize;
+                let (m, com) = self.walk(kid, clo, chi, depth + 1, cube.octant(oct), summary)?;
+                mass += m;
+                weighted += com * m;
+            }
+        }
+        let com = if mass > 0.0 {
+            weighted / mass
+        } else {
+            Vec3::ZERO
+        };
+        if (node.mass - mass).abs() > 1e-9 * mass.abs().max(1.0) {
+            return Err(format!("flat node {idx} mass {} != {mass}", node.mass));
+        }
+        if (node.com - com).norm() > 1e-9 * (1.0 + com.norm()) {
+            return Err(format!("flat node {idx} com {:?} != {com:?}", node.com));
+        }
+        Ok((mass, com))
+    }
 }
 
 /// Canonical structural signature of the shared tree (same format as

@@ -43,13 +43,24 @@ fn set_override(cost: &mut CostModel, key: &str, v: u64) {
     }
 }
 
+/// The accepted algorithm names, for the usage banner and parse errors.
+fn algorithm_names() -> String {
+    Algorithm::ALL
+        .iter()
+        .map(|a| a.name())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
 /// Print a specific diagnostic plus the usage banner, then exit non-zero.
 fn die(msg: &str) -> ! {
     eprintln!("probe: {msg}");
     eprintln!(
         "usage: probe <platform|native> <algorithm> <n> <procs> \
-         [--scale {}] [--trace <path>] [--attr]",
-        ExperimentScale::NAMES.join("|")
+         [--scale {}] [--trace <path>] [--attr]\n\
+         algorithms: {}",
+        ExperimentScale::NAMES.join("|"),
+        algorithm_names()
     );
     std::process::exit(2);
 }
@@ -146,8 +157,13 @@ fn main() {
             positional.len()
         ));
     }
-    let alg = Algorithm::parse(&positional[1])
-        .unwrap_or_else(|| die(&format!("unknown algorithm '{}'", positional[1])));
+    let alg = Algorithm::parse(&positional[1]).unwrap_or_else(|| {
+        die(&format!(
+            "unknown algorithm '{}' (valid: {})",
+            positional[1],
+            algorithm_names()
+        ))
+    });
     let mut n: usize = positional[2]
         .parse()
         .unwrap_or_else(|_| die(&format!("invalid n '{}'", positional[2])));

@@ -443,7 +443,7 @@ fn load(path: &str) -> Json {
 }
 
 /// Numeric fields every treebuild BENCH record must carry.
-const TREEBUILD_FIELDS: [&str; 14] = [
+const TREEBUILD_FIELDS: [&str; 15] = [
     "n",
     "procs",
     "tree_cycles",
@@ -456,6 +456,7 @@ const TREEBUILD_FIELDS: [&str; 14] = [
     "lock_ids",
     "tree_imbalance",
     "flatten_cycles",
+    "sort_cycles",
     "native_tree_ns",
     "native_total_ns",
 ];
@@ -635,9 +636,10 @@ fn bench_key(r: &Json) -> Option<(String, String, String)> {
 /// are compared and printed but informational: multi-processor simulated
 /// timings carry real run-to-run jitter (host thread interleaving feeds
 /// the contention model), so gating them would flake.
-const DIFF_METRICS: [(&str, bool); 5] = [
+const DIFF_METRICS: [(&str, bool); 6] = [
     ("tree_cycles", false),
     ("flatten_cycles", false),
+    ("sort_cycles", false),
     ("barrier_wait_cycles", false),
     ("native_tree_ns", true),
     ("native_total_ns", true),

@@ -9,12 +9,13 @@ use crate::tables::{fmt_pct, fmt_speedup, Table};
 use bh_core::prelude::*;
 use ssmp::{platform, CostModel, Machine};
 
-pub(crate) const ALGS: [Algorithm; 5] = [
+pub(crate) const ALGS: [Algorithm; 6] = [
     Algorithm::Orig,
     Algorithm::Local,
     Algorithm::Update,
     Algorithm::Partree,
     Algorithm::Space,
+    Algorithm::Morton,
 ];
 
 fn alg_headers(first: &str) -> Vec<String> {
@@ -410,6 +411,8 @@ struct TracedRun {
     tree_imbalance: f64,
     /// Max per-processor time in the flat-snapshot pass of the tree phase.
     flatten_cycles: u64,
+    /// Max per-processor time in the parallel key sort (MORTON only).
+    sort_cycles: u64,
 }
 
 #[derive(Clone, Copy, Default)]
@@ -456,6 +459,7 @@ fn traced_run<E: Env>(env: &bh_core::trace::TraceEnv<E>, alg: Algorithm, n: usiz
         tree_time: stats.tree_time(),
         tree_imbalance: stats.tree_imbalance(),
         flatten_cycles: stats.flatten_cycles(),
+        sort_cycles: stats.sort_cycles(),
     }
 }
 
@@ -478,7 +482,7 @@ fn treebuild_row(table: &mut Table, platform: &str, alg: Algorithm, r: &TracedRu
     ]);
 }
 
-/// Run the full application under [`bh_core::trace::TraceEnv`] for all five
+/// Run the full application under [`bh_core::trace::TraceEnv`] for all six
 /// algorithms on the native host and on a simulated Origin 2000, producing
 /// the per-phase breakdown, the combined Chrome trace and BENCH metrics.
 /// Native rows are in wall nanoseconds, origin rows in simulated cycles.
@@ -551,7 +555,7 @@ fn treebuild_sized(scale: ExperimentScale, n: usize, procs: usize) -> TreebuildR
              \"tree_lock_acquires\": {}, \"tree_lock_wait_cycles\": {}, \
              \"barrier_wait_cycles\": {}, \"remote_misses\": {}, \"page_faults\": {}, \
              \"lock_ids\": {}, \"lock_acquires_all_steps\": {}, \"lock_wait_all_steps\": {}, \
-             \"tree_imbalance\": {:.4}, \"flatten_cycles\": {}, \
+             \"tree_imbalance\": {:.4}, \"flatten_cycles\": {}, \"sort_cycles\": {}, \
              \"native_tree_ns\": {}, \"native_total_ns\": {}}}",
             scale.name(),
             alg.name(),
@@ -568,6 +572,7 @@ fn treebuild_sized(scale: ExperimentScale, n: usize, procs: usize) -> TreebuildR
             org.hist_total_wait,
             org.tree_imbalance,
             org.flatten_cycles,
+            org.sort_cycles,
             nat.tree_time,
             nat.total_time,
         ));
@@ -659,8 +664,8 @@ mod tests {
     #[test]
     fn treebuild_report_is_complete_and_valid() {
         let report = treebuild_sized(ExperimentScale::Tiny, 128, 2);
-        // 5 algorithms x 2 platforms.
-        assert_eq!(report.table.rows.len(), 10);
+        // 6 algorithms x 2 platforms.
+        assert_eq!(report.table.rows.len(), 12);
 
         let trace = Json::parse(&report.trace_json).expect("trace must be valid JSON");
         let events = trace.as_array().expect("trace is an array");
@@ -669,12 +674,12 @@ mod tests {
             .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
             .collect();
         assert!(!spans.is_empty(), "trace has no spans");
-        // 10 process tracks, each declaring 2 threads.
+        // 12 process tracks, each declaring 2 threads.
         let procs_meta: Vec<&Json> = events
             .iter()
             .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
             .collect();
-        assert_eq!(procs_meta.len(), 10);
+        assert_eq!(procs_meta.len(), 12);
         for m in procs_meta {
             assert_eq!(
                 m.get("args")
@@ -695,12 +700,27 @@ mod tests {
 
         let bench = Json::parse(&report.bench_json).expect("bench must be valid JSON");
         let records = bench.as_array().expect("bench is an array");
-        assert_eq!(records.len(), 5);
+        assert_eq!(records.len(), 6);
         for r in records {
             assert!(r.get("tree_cycles").and_then(Json::as_f64).unwrap() > 0.0);
             assert!(r.get("native_tree_ns").and_then(Json::as_f64).unwrap() > 0.0);
             assert!(r.get("tree_imbalance").and_then(Json::as_f64).unwrap() >= 1.0);
-            assert!(r.get("flatten_cycles").and_then(Json::as_f64).unwrap() > 0.0);
+            let flatten = r.get("flatten_cycles").and_then(Json::as_f64).unwrap();
+            let sort = r.get("sort_cycles").and_then(Json::as_f64).unwrap();
+            if r.get("algorithm").and_then(Json::as_str) == Some("MORTON") {
+                // MORTON builds the snapshot directly: no flatten pass, a
+                // nonzero key sort, and no lock traffic at all.
+                assert_eq!(flatten, 0.0, "MORTON must not flatten");
+                assert!(sort > 0.0, "MORTON must report its sort");
+                assert_eq!(
+                    r.get("tree_lock_acquires").and_then(Json::as_f64).unwrap(),
+                    0.0,
+                    "MORTON takes no tree locks"
+                );
+            } else {
+                assert!(flatten > 0.0, "linked-tree algorithms flatten");
+                assert_eq!(sort, 0.0, "only MORTON sorts");
+            }
         }
         // The histogram separates ORIG (hot shared cells) from SPACE
         // (lock-free): compare the per-record lock id counts.
@@ -714,5 +734,6 @@ mod tests {
         };
         assert!(lock_ids("ORIG") > 0.0, "ORIG must take locks");
         assert_eq!(lock_ids("SPACE"), 0.0, "SPACE is lock-free");
+        assert_eq!(lock_ids("MORTON"), 0.0, "MORTON is lock-free");
     }
 }

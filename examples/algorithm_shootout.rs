@@ -1,5 +1,6 @@
-//! Compare all five tree-building algorithms of the paper on native threads:
-//! wall time per phase, lock counts, and structural agreement.
+//! Compare all six tree-building algorithms (the paper's five plus the
+//! sort-based MORTON) on native threads: wall time per phase, lock counts,
+//! and structural agreement.
 //!
 //! ```text
 //! cargo run --release --example algorithm_shootout [n_bodies] [threads]

@@ -18,12 +18,13 @@
 use bh_repro::bh_core::prelude::*;
 use bh_repro::ssmp::{platform, AttrTable, CostModel, Machine};
 
-const ALGS: [Algorithm; 5] = [
+const ALGS: [Algorithm; 6] = [
     Algorithm::Orig,
     Algorithm::Local,
     Algorithm::Update,
     Algorithm::Partree,
     Algorithm::Space,
+    Algorithm::Morton,
 ];
 
 fn tiny_cfg(alg: Algorithm) -> SimConfig {
@@ -47,7 +48,7 @@ fn run_attributed(cost: &CostModel, alg: Algorithm, procs: usize) -> (RunStats, 
 }
 
 /// Tiling: per-(region x stage) counters sum exactly to the aggregates, for
-/// all five algorithms on both platform families, serial and parallel.
+/// all six algorithms on both platform families, serial and parallel.
 #[test]
 fn attribution_tiles_aggregates_for_every_algorithm() {
     for cost in [platform::origin2000(4), platform::typhoon0_hlrc(4)] {
@@ -96,6 +97,14 @@ fn attribution_resolves_regions() {
 
     let (_, space) = run_attributed(&cost, Algorithm::Space, 4);
     assert_eq!(space.total().lock_acquires, 0, "SPACE is lock-free");
+
+    let (_, morton) = run_attributed(&cost, Algorithm::Morton, 4);
+    assert_eq!(morton.total().lock_acquires, 0, "MORTON is lock-free");
+    let sort = morton.region_total(Region::SortScratch);
+    assert!(
+        sort.local_misses + sort.remote_misses > 0,
+        "MORTON's sort workspace traffic must land in its own region"
+    );
 }
 
 /// Disabled telemetry is free: with attribution off (the default), the

@@ -21,12 +21,13 @@
 
 use bh_repro::bh_core::prelude::*;
 
-const ALL_ALGS: [Algorithm; 5] = [
+const ALL_ALGS: [Algorithm; 6] = [
     Algorithm::Orig,
     Algorithm::Local,
     Algorithm::Update,
     Algorithm::Partree,
     Algorithm::Space,
+    Algorithm::Morton,
 ];
 
 /// Absolute tolerance for multi-processor comparisons: two orders of
@@ -115,6 +116,7 @@ fn engine_reuse_across_different_algorithms_stays_exact() {
     for alg in [
         Algorithm::Space,
         Algorithm::Orig,
+        Algorithm::Morton,
         Algorithm::Partree,
         Algorithm::Space,
     ] {

@@ -28,6 +28,11 @@ fn run(alg: Algorithm, procs: usize, flat: bool, bodies: &[Body], steps: usize) 
 fn flat_walk_is_bitwise_identical_on_one_processor() {
     let bodies = Model::Plummer.generate(1200, 42);
     for alg in Algorithm::ALL {
+        if alg.builds_flat_directly() {
+            // MORTON has no recursive walk to compare against (it never
+            // builds the linked tree); its own bitwise gate is below.
+            continue;
+        }
         let flat = run(alg, 1, true, &bodies, 3);
         let rec = run(alg, 1, false, &bodies, 3);
         for (i, (a, b)) in flat.iter().zip(&rec).enumerate() {
@@ -53,6 +58,9 @@ fn flat_walk_is_bitwise_identical_on_one_processor() {
 fn flat_walk_matches_recursive_in_parallel() {
     let bodies = Model::TwoClusterCollision.generate(1500, 7);
     for alg in Algorithm::ALL {
+        if alg.builds_flat_directly() {
+            continue;
+        }
         let flat = run(alg, 4, true, &bodies, 2);
         let rec = run(alg, 4, false, &bodies, 2);
         let mut worst = 0.0f64;
@@ -60,6 +68,65 @@ fn flat_walk_matches_recursive_in_parallel() {
             worst = worst.max(a.pos.dist(b.pos));
         }
         assert!(worst < 1e-9, "{alg}: flat vs recursive diverged by {worst}");
+    }
+}
+
+#[test]
+fn morton_matches_sequential_builder_bitwise_on_one_processor() {
+    // MORTON builds the flat tree straight from the sorted key array, so its
+    // reference is not a recursive walk of its own tree (there is none) but
+    // the sequential builder itself: for a given body set and leaf threshold
+    // the octree is unique, the quantized key path routes exactly like the
+    // geometric descent, leaves hold bodies in ascending id, and both walks
+    // visit children in octant order — the floating-point op sequence is
+    // identical, so one-processor trajectories must match bitwise.
+    use bh_repro::bh_core::seq_app::seq_run;
+    let bodies = Model::Plummer.generate(1200, 42);
+    let steps = 3;
+    let par = run(Algorithm::Morton, 1, true, &bodies, steps);
+    let mut seq = bodies.clone();
+    let cfg = SimConfig::new(Algorithm::Morton);
+    seq_run(&mut seq, cfg.k, &cfg.force, cfg.dt, steps);
+    for (i, (a, b)) in par.iter().zip(&seq).enumerate() {
+        for (x, y) in [
+            (a.pos.x, b.pos.x),
+            (a.pos.y, b.pos.y),
+            (a.pos.z, b.pos.z),
+            (a.vel.x, b.vel.x),
+            (a.vel.y, b.vel.y),
+            (a.vel.z, b.vel.z),
+        ] {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "body {i} differs between MORTON ({x:?}) and sequential ({y:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn morton_is_bitwise_processor_count_independent() {
+    // The sorted (key, id) array is schedule-independent, the leaf partition
+    // is determined by keys and k alone, and every node's mass summation
+    // runs over a fixed order (ascending id in leaves, octant order in
+    // cells) — so the processor count must not perturb a single bit.
+    let bodies = Model::TwoClusterCollision.generate(1500, 7);
+    let one = run(Algorithm::Morton, 1, true, &bodies, 2);
+    for procs in [2, 4] {
+        let many = run(Algorithm::Morton, procs, true, &bodies, 2);
+        for (i, (a, b)) in one.iter().zip(&many).enumerate() {
+            assert_eq!(
+                a.pos.x.to_bits(),
+                b.pos.x.to_bits(),
+                "body {i} x drifted at {procs} procs"
+            );
+            assert_eq!(a.pos.y.to_bits(), b.pos.y.to_bits(), "body {i} y");
+            assert_eq!(a.pos.z.to_bits(), b.pos.z.to_bits(), "body {i} z");
+            assert_eq!(a.vel.x.to_bits(), b.vel.x.to_bits(), "body {i} vx");
+            assert_eq!(a.vel.y.to_bits(), b.vel.y.to_bits(), "body {i} vy");
+            assert_eq!(a.vel.z.to_bits(), b.vel.z.to_bits(), "body {i} vz");
+        }
     }
 }
 

@@ -164,6 +164,37 @@ fn tree_build_is_tiny_sequentially_on_every_platform_full() {
     tree_tiny_sequentially(8192);
 }
 
+fn morton_sort_build_beats_local(n: usize, procs: usize) {
+    // The point of the sixth algorithm: building the flat tree directly from
+    // the sorted key array skips both the lock traffic of the insertion
+    // builders and the separate flatten pass, and comes out ahead of LOCAL
+    // on the tree phase end to end.
+    let cost = platform::origin2000(procs);
+    let morton = run(&cost, Algorithm::Morton, n, procs);
+    let local = run(&cost, Algorithm::Local, n, procs);
+    let locks: u64 = morton.tree_locks_per_proc().iter().sum();
+    assert_eq!(locks, 0, "MORTON took tree locks");
+    assert_eq!(morton.flatten_cycles(), 0, "MORTON charged a flatten pass");
+    assert!(morton.sort_cycles() > 0, "MORTON charged no sort time");
+    assert!(
+        morton.tree_time() < local.tree_time(),
+        "MORTON tree phase ({}) not below LOCAL ({}) on the Origin",
+        morton.tree_time(),
+        local.tree_time()
+    );
+}
+
+#[test]
+fn morton_builds_without_locks_or_flatten_and_beats_local() {
+    morton_sort_build_beats_local(2048, 8);
+}
+
+#[test]
+#[ignore = "paper-scale; run with --ignored"]
+fn morton_builds_without_locks_or_flatten_and_beats_local_full() {
+    morton_sort_build_beats_local(8192, 16);
+}
+
 #[test]
 fn page_faults_only_on_svm_platforms() {
     let hw = run(&platform::origin2000(4), Algorithm::Local, 2048, 4);

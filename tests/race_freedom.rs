@@ -1,4 +1,4 @@
-//! Race-freedom certification of the five tree-building algorithms.
+//! Race-freedom certification of the six tree-building algorithms.
 //!
 //! Every run executes the full application pipeline (bounds, build, com,
 //! costzones, force, update) under [`CheckedEnv`], the happens-before
@@ -42,12 +42,13 @@ fn certify(alg: Algorithm, procs: usize, model: Model, n: usize) {
     certify_cfg(SimConfig::new(alg), procs, model, n);
 }
 
-const ALL_ALGS: [Algorithm; 5] = [
+const ALL_ALGS: [Algorithm; 6] = [
     Algorithm::Orig,
     Algorithm::Local,
     Algorithm::Update,
     Algorithm::Partree,
     Algorithm::Space,
+    Algorithm::Morton,
 ];
 
 #[test]

@@ -1,4 +1,4 @@
-//! Schedule-space certification for all five tree-building algorithms.
+//! Schedule-space certification for all six tree-building algorithms.
 //!
 //! Each cell runs the full simulation (tree build → partition → force →
 //! update, on a tiny body set) under [`bh_core::sched::VerifyEnv`] — the
@@ -17,8 +17,8 @@
 use bh_core::prelude::*;
 use bh_core::sched::explore_algorithm;
 
-/// 25 seeded schedules per (algorithm, procs) cell; with five algorithms
-/// at 2 and 3 processors this certifies 5 × 2 × 25 = 250 seeded schedules,
+/// 25 seeded schedules per (algorithm, procs) cell; with six algorithms
+/// at 2 and 3 processors this certifies 6 × 2 × 25 = 300 seeded schedules,
 /// clearing the 200-schedule floor with the round-robin runs on top.
 const SEEDS_PER_CELL: usize = 25;
 
@@ -77,6 +77,70 @@ fn partree_certifies_across_seeded_schedules() {
 #[test]
 fn space_certifies_across_seeded_schedules() {
     certify_seeded(Algorithm::Space);
+}
+
+#[test]
+fn morton_certifies_across_seeded_schedules() {
+    certify_seeded(Algorithm::Morton);
+}
+
+/// Bounded-exhaustive exploration of a minimal sort-and-emit kernel: the
+/// actual MORTON phases (cooperative radix sort → plan → count → fill →
+/// spine) on a tiny body set at 2 processors, validated structurally after
+/// every schedule. This certifies the barrier-separated ownership protocol
+/// itself — not just the schedules a seed happens to draw — within a
+/// bounded budget, and is cheap enough to run pre-merge.
+#[test]
+fn morton_sort_and_emit_kernel_bounded_exhaustive() {
+    use bh_core::algorithms::morton;
+    use bh_core::harness::spmd;
+    use bh_core::math::{Aabb, Cube};
+    use bh_core::sched::{explore, SchedConfig};
+    use bh_core::tree::flat::FlatTree;
+    use bh_core::tree::validate::validate_flat_morton;
+    use bh_core::world::World;
+
+    let agg = explore(
+        2,
+        &ExplorePlan::Exhaustive {
+            preemption_bound: 1,
+            max_schedules: 300,
+        },
+        &SchedConfig::default(),
+        |env| {
+            let bodies = Model::Plummer.generate(6, 5);
+            let world = World::new(env, &bodies);
+            let scratch = morton::MortonScratch::new(env, bodies.len());
+            let flat = FlatTree::new(env, bodies.len(), 1, Algorithm::Morton.layout());
+            let cube = Cube::enclosing(&Aabb::from_points(bodies.iter().map(|b| b.pos)));
+            spmd(env, |proc, ctx| {
+                morton::sort_keys(env, ctx, &world, &scratch, &cube, proc);
+                let plan = morton::plan(env, ctx, &scratch, world.n, 1, cube);
+                let owned = morton::publish_counts(env, ctx, &scratch, &plan, 1, proc);
+                env.barrier(ctx);
+                morton::fill(env, ctx, &flat, &world, &scratch, &plan, &owned, 1);
+                env.barrier(ctx);
+                if proc == 0 {
+                    morton::fill_spine(env, ctx, &flat, &scratch, &plan);
+                }
+                env.barrier(ctx);
+            });
+            let positions: Vec<_> = bodies.iter().map(|b| b.pos).collect();
+            let masses: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
+            validate_flat_morton(&flat, &positions, &masses, 1).err()
+        },
+    );
+    let mut report = String::new();
+    for ce in &agg.counterexamples {
+        report.push_str(&format!("{ce}"));
+    }
+    assert!(
+        agg.certified(),
+        "morton kernel: {} defective of {} schedules\n{report}",
+        agg.defects,
+        agg.schedules
+    );
+    assert!(agg.schedules > 1, "explorer found no schedule branching");
 }
 
 /// The single deterministic round-robin schedule for every algorithm at
