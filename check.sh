@@ -24,6 +24,15 @@ echo "== schedule-exploration verify lane =="
 # and runs on the paper-scale line below.
 cargo test --offline -q --test schedule_matrix --test schedule_mutation
 
+echo "== batched force kernel lane (parity + grouped matrix cells) =="
+# The grouped traversal/evaluation kernel's dedicated gates: bitwise parity
+# at group_size = 1, ≤1e-12 grouped parity across all six algorithms, the
+# group-window property test, and the group-size race/schedule cells (the
+# default matrices above already cover group_size = 16).
+cargo test --offline -q --test flat_force
+cargo test --offline -q --test race_freedom grouped_force_kernel
+cargo test --offline -q --test schedule_matrix grouped_force_kernel
+
 echo "== build (release) =="
 cargo build --offline --release
 

@@ -1,0 +1,64 @@
+//! Force-phase kernel benchmarks: the per-body flat walk (`group_size = 0`)
+//! against the batched interaction-list kernel at several group sizes, plus
+//! a group-size sweep on the sort-based builder whose Morton-ordered bodies
+//! give the tightest groups.
+//!
+//! The batched kernel amortizes one tree traversal over a group of
+//! consecutive bodies in zone order and evaluates the shared list in a
+//! branch-free SoA loop; the win should grow with `group_size` until the
+//! conservative group opening criterion starts lengthening the lists.
+//! Build with `--features simd` to widen the evaluation accumulators from
+//! 4 to 8 lanes (the `bh-core/simd` feature; summation grouping only).
+
+use bh_bench::{bench_config, workload};
+use bh_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Per-body walk vs batched kernel on every algorithm's default pipeline.
+fn bench_force_kernels(c: &mut Criterion) {
+    let n = 10_000;
+    let threads = 4;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("force_kernel");
+    group.sample_size(10);
+    for (label, gs) in [("per_body", 0usize), ("grouped16", 16), ("grouped32", 32)] {
+        for alg in [Algorithm::Local, Algorithm::Morton] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), label),
+                &(alg, gs),
+                |b, &(alg, gs)| {
+                    let mut cfg = bench_config(alg);
+                    cfg.group_size = gs;
+                    b.iter(|| {
+                        let env = NativeEnv::new(threads);
+                        criterion::black_box(run_simulation(&env, &cfg, &bodies).force_time())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Group-size sweep: where does list reuse stop paying for longer lists?
+fn bench_group_size_sweep(c: &mut Criterion) {
+    let n = 10_000;
+    let threads = 4;
+    let bodies = workload(n);
+    let mut group = c.benchmark_group("force_group_size");
+    group.sample_size(10);
+    for gs in [1usize, 4, 8, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("MORTON", gs), &gs, |b, &gs| {
+            let mut cfg = bench_config(Algorithm::Morton);
+            cfg.group_size = gs;
+            b.iter(|| {
+                let env = NativeEnv::new(threads);
+                criterion::black_box(run_simulation(&env, &cfg, &bodies).force_time())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_force_kernels, bench_group_size_sweep);
+criterion_main!(benches);

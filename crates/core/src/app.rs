@@ -14,7 +14,7 @@
 use crate::algorithms::{Algorithm, Builder};
 use crate::body::Body;
 use crate::env::{CtxStats, Env, Phase};
-use crate::force::ForceParams;
+use crate::force::{ForceParams, ForceScratch};
 use crate::harness::WorkerPool;
 use crate::pipeline::{StageIo, StepPipeline};
 use crate::tree::flat::FlatTree;
@@ -45,6 +45,11 @@ pub struct SimConfig {
     /// `false` keeps the recursive walk over the shared tree — the
     /// pre-snapshot behavior, for ablations and equivalence tests.
     pub flat_force: bool,
+    /// Bodies per interaction-list group in the batched force kernel.
+    /// `1` builds per-body lists (bitwise identical to the reference
+    /// walk); `0` is the legacy per-body walk without lists (ablation).
+    /// Ignored when `flat_force` is off.
+    pub group_size: usize,
     /// Morton-reorder each zone's bodies every this many steps (including
     /// step 0); `0` disables the pass.
     pub morton_every: usize,
@@ -64,6 +69,7 @@ impl SimConfig {
             space_threshold: None,
             space_rebalance: 0.25,
             flat_force: true,
+            group_size: 16,
             morton_every: 4,
             validate: true,
         }
@@ -133,6 +139,15 @@ pub struct ProcRecord {
     /// Time this processor spent in the parallel Morton key sort during
     /// measured steps (nonzero only for MORTON).
     pub sort_time: u64,
+    /// Interaction-list group traversals the batched force kernel performed
+    /// during measured steps (zero for the per-body ablations).
+    pub force_groups: u64,
+    /// Interaction-list entries the batched force kernel emitted during
+    /// measured steps.
+    pub force_list_entries: u64,
+    /// Pair interactions the batched force kernel evaluated from its lists
+    /// during measured steps.
+    pub force_interactions: u64,
     pub final_stats: CtxStats,
 }
 
@@ -332,6 +347,54 @@ impl RunStats {
             .collect()
     }
 
+    /// Interaction-list group traversals performed by the batched force
+    /// kernel over all processors and measured steps (zero for the
+    /// per-body ablations).
+    pub fn force_groups(&self) -> u64 {
+        self.procs_records.iter().map(|r| r.force_groups).sum()
+    }
+
+    /// Interaction-list entries emitted by the batched force kernel over
+    /// all processors and measured steps.
+    pub fn force_list_entries(&self) -> u64 {
+        self.procs_records
+            .iter()
+            .map(|r| r.force_list_entries)
+            .sum()
+    }
+
+    /// Pair interactions the batched force kernel evaluated from its lists
+    /// over all processors and measured steps.
+    pub fn force_interactions(&self) -> u64 {
+        self.procs_records
+            .iter()
+            .map(|r| r.force_interactions)
+            .sum()
+    }
+
+    /// Mean interaction-list length (entries per group traversal); `0.0`
+    /// when the batched kernel did not run.
+    pub fn force_list_len(&self) -> f64 {
+        let groups = self.force_groups();
+        if groups == 0 {
+            0.0
+        } else {
+            self.force_list_entries() as f64 / groups as f64
+        }
+    }
+
+    /// List-reuse factor: pair interactions evaluated per emitted list
+    /// entry (approaches the group size for spatially compact groups);
+    /// `0.0` when the batched kernel did not run.
+    pub fn force_list_reuse(&self) -> f64 {
+        let entries = self.force_list_entries();
+        if entries == 0 {
+            0.0
+        } else {
+            self.force_interactions() as f64 / entries as f64
+        }
+    }
+
     /// Per-measured-step tree-phase load imbalance (same definition as
     /// [`RunStats::tree_imbalance`], per step instead of over the run).
     pub fn step_tree_imbalance(&self) -> Vec<f64> {
@@ -421,14 +484,27 @@ fn run_inner<E: Env>(env: &E, cfg: &SimConfig, bodies: &[Body]) -> (RunStats, Ve
     let flat = cfg
         .flat_force
         .then(|| FlatTree::new(env, n, cfg.k, cfg.algorithm.layout()));
+    let force_scratch = flat
+        .as_ref()
+        .map(|f| ForceScratch::new(env, f, n, env.num_procs()));
     let pool = WorkerPool::new(env.num_procs());
-    execute(env, &pool, cfg, &world, &tree, flat.as_ref(), &builder)
+    execute(
+        env,
+        &pool,
+        cfg,
+        &world,
+        &tree,
+        flat.as_ref(),
+        force_scratch.as_ref(),
+        &builder,
+    )
 }
 
 /// Run the warm-up + measured protocol over already-allocated state and
 /// return the run's statistics plus the final body snapshot. This is the
 /// single execution path shared by the one-shot [`run_simulation`] entry
 /// points and the state-reusing [`crate::engine::SimEngine`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute<E: Env>(
     env: &E,
     pool: &WorkerPool,
@@ -436,6 +512,7 @@ pub(crate) fn execute<E: Env>(
     world: &World,
     tree: &SharedTree,
     flat: Option<&FlatTree>,
+    force_scratch: Option<&ForceScratch>,
     builder: &Builder,
 ) -> (RunStats, Vec<Body>) {
     let total_steps = cfg.warmup_steps + cfg.measured_steps;
@@ -453,6 +530,7 @@ pub(crate) fn execute<E: Env>(
         world,
         tree,
         flat,
+        force_scratch,
         builder,
         total_steps,
         tree_snapshot: &tree_snapshot,
@@ -471,6 +549,9 @@ pub(crate) fn execute<E: Env>(
             barrier_wait: 0,
             flatten_time: 0,
             sort_time: 0,
+            force_groups: 0,
+            force_list_entries: 0,
+            force_interactions: 0,
             final_stats: CtxStats::default(),
         };
         for step in 0..total_steps {

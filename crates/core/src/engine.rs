@@ -24,6 +24,7 @@ use crate::algorithms::{Algorithm, Builder};
 use crate::app::{self, RunStats, SimConfig};
 use crate::body::Body;
 use crate::env::Env;
+use crate::force::ForceScratch;
 use crate::harness::WorkerPool;
 use crate::tree::flat::FlatTree;
 use crate::tree::types::{SharedTree, TreeLayout};
@@ -38,6 +39,9 @@ struct EngineState {
     world: World,
     tree: SharedTree,
     flat: Option<FlatTree>,
+    /// Interaction-list scratch for the batched force kernel; allocated
+    /// with (and shaped like) the flat snapshot.
+    force_scratch: Option<ForceScratch>,
     /// One builder per algorithm, kept because some algorithms (Update)
     /// own per-processor scratch arrays sized to `n`.
     builders: HashMap<Algorithm, Builder>,
@@ -89,7 +93,18 @@ impl<E: Env> SimEngine<E> {
             if let Some(flat) = &st.flat {
                 flat.reset();
             }
+            if let Some(scratch) = &st.force_scratch {
+                // Hygiene, like FlatTree::reset: evaluation only ever reads
+                // entries the same step's traversal emitted.
+                scratch.reset();
+            }
         } else {
+            let flat = cfg
+                .flat_force
+                .then(|| FlatTree::new(&self.env, n, cfg.k, layout));
+            let force_scratch = flat
+                .as_ref()
+                .map(|f| ForceScratch::new(&self.env, f, n, self.env.num_procs()));
             self.state = Some(EngineState {
                 n,
                 k: cfg.k,
@@ -97,9 +112,8 @@ impl<E: Env> SimEngine<E> {
                 has_flat: cfg.flat_force,
                 world: World::new(&self.env, bodies),
                 tree: SharedTree::new(&self.env, n, cfg.k, layout),
-                flat: cfg
-                    .flat_force
-                    .then(|| FlatTree::new(&self.env, n, cfg.k, layout)),
+                flat,
+                force_scratch,
                 builders: HashMap::new(),
             });
         }
@@ -132,6 +146,7 @@ impl<E: Env> SimEngine<E> {
             &st.world,
             &st.tree,
             st.flat.as_ref(),
+            st.force_scratch.as_ref(),
             builder,
         )
     }

@@ -123,6 +123,10 @@ pub enum Region {
     /// digit histograms, cooperative rank/base arrays, and the emission
     /// plan's publication arrays.
     SortScratch,
+    /// Per-processor interaction-list scratch of the batched force kernel:
+    /// the SoA (position, mass, id) entries each group traversal emits and
+    /// the evaluation loop consumes.
+    ForceList,
     /// Anything not (yet) tagged: harness scratch, ad-hoc test
     /// allocations. Keeping a catch-all row makes the per-region tiling
     /// property unconditional.
@@ -141,11 +145,12 @@ impl Region {
         Region::TreeAlloc,
         Region::FlatTree,
         Region::SortScratch,
+        Region::ForceList,
         Region::Other,
     ];
 
     /// Number of regions (length of [`Region::ALL`]).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// Stable index into per-region arrays.
     #[inline]
@@ -160,7 +165,8 @@ impl Region {
             Region::TreeAlloc => 6,
             Region::FlatTree => 7,
             Region::SortScratch => 8,
-            Region::Other => 9,
+            Region::ForceList => 9,
+            Region::Other => 10,
         }
     }
 
@@ -176,6 +182,7 @@ impl Region {
             Region::TreeAlloc => "tree-alloc",
             Region::FlatTree => "flat-tree",
             Region::SortScratch => "sort-scratch",
+            Region::ForceList => "force-list",
             Region::Other => "other",
         }
     }

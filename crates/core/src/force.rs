@@ -7,9 +7,20 @@
 //! body's cost for the next step's costzones partitioning — force
 //! computation is >97% of sequential time, which is exactly why the paper's
 //! tree-building bottleneck on commodity platforms is so surprising.
+//!
+//! Two kernels implement the phase over the flat snapshot:
+//!
+//! * [`force_phase`] — the reference one-body-at-a-time explicit-stack
+//!   walk (kept as the `group_size = 0` ablation);
+//! * [`force_phase_grouped`] — the batched traversal/evaluation split:
+//!   one tree walk per group of `group_size` consecutive bodies in the
+//!   Morton-sorted zone order emits a shared interaction list into
+//!   per-processor [`ForceScratch`], then a branch-free
+//!   structure-of-arrays loop applies the list to every member.
 
-use crate::env::Env;
+use crate::env::{Env, Placement, Region};
 use crate::math::Vec3;
+use crate::shared::SharedVec;
 use crate::tree::flat::FlatTree;
 use crate::tree::seq::{SeqNode, SeqTree};
 use crate::tree::types::{NodeRef, SharedTree};
@@ -60,11 +71,44 @@ pub fn pair_accel(pos: Vec3, src: Vec3, m: f64, params: &ForceParams) -> Vec3 {
     pair_accel_eps2(pos, src, m, params.gravity, params.eps * params.eps)
 }
 
+/// The Barnes-Hut opening criterion every walker shares: a cell of side
+/// `side` whose center of mass lies at squared distance `d2` is accepted
+/// (approximated by its monopole) iff `side² < θ²·d2`.
+#[inline]
+fn cell_accepted(side: f64, theta2: f64, d2: f64) -> bool {
+    side * side < theta2 * d2
+}
+
+/// Opening criterion plus monopole interaction in one place, so
+/// [`force_phase`], [`force_phase_recursive`]'s `body_force` and
+/// `seq_walk` cannot drift: `Some(accel)` if the cell is accepted under
+/// θ², `None` if it must be opened. The arithmetic (squared distance,
+/// criterion, then [`pair_accel_eps2`]) is exactly the historical inline
+/// sequence, so accepted-cell accelerations stay bitwise identical.
+#[inline]
+fn cell_interaction(
+    pos: Vec3,
+    com: Vec3,
+    mass: f64,
+    side: f64,
+    theta2: f64,
+    gravity: f64,
+    eps2: f64,
+) -> Option<Vec3> {
+    let d2 = pos.dist_sq(com);
+    if cell_accepted(side, theta2, d2) {
+        Some(pair_accel_eps2(pos, com, mass, gravity, eps2))
+    } else {
+        None
+    }
+}
+
 /// Force phase for one processor over the flat snapshot: an iterative,
 /// explicit-stack walk with ε² and θ² hoisted out of the loop. Visits
 /// children in octant order (pushed in reverse), i.e. the exact pre-order
 /// DFS of [`force_phase_recursive`], so accelerations are bitwise
-/// identical. Caller barriers afterwards.
+/// identical. Kept as the `group_size = 0` ablation/reference for
+/// [`force_phase_grouped`]. Caller barriers afterwards.
 pub fn force_phase<E: Env>(
     env: &E,
     ctx: &mut E::Ctx,
@@ -102,10 +146,11 @@ pub fn force_phase<E: Env>(
                 continue;
             }
             env.compute(ctx, VISIT_CYCLES);
-            let d2 = pos.dist_sq(node.com);
             let side = 2.0 * node.half;
-            if side * side < theta2 * d2 {
-                acc += pair_accel_eps2(pos, node.com, node.mass, params.gravity, eps2);
+            if let Some(a) =
+                cell_interaction(pos, node.com, node.mass, side, theta2, params.gravity, eps2)
+            {
+                acc += a;
                 interactions += 1;
                 env.compute(ctx, INTERACT_CYCLES);
                 continue;
@@ -116,7 +161,666 @@ pub fn force_phase<E: Env>(
             }
         }
         world.acc.store(env, ctx, b as usize, acc);
-        world.cost.store(env, ctx, b as usize, interactions.max(1));
+        // Exact interaction count: costzones guards against zero at read
+        // time, so no floor is applied here.
+        world.cost.store(env, ctx, b as usize, interactions);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched traversal/evaluation kernel.
+// ---------------------------------------------------------------------------
+
+/// Safety margin on the group-box squared distance bounds: the accept-all
+/// threshold shrinks by this factor and the open-all threshold grows by
+/// it, so floating-point rounding in the box clamp arithmetic can never
+/// contradict a member's own (exact, squared-form) criterion. Cells
+/// inside the margin band fall into the mixed case, which resolves every
+/// member exactly — the margin affects performance only, never results.
+const GROUP_MARGIN: f64 = 1e-9;
+
+/// Accumulator-lane width of the batched evaluation loop. The default 4
+/// matches one AVX2 `f64` vector; the `simd` feature widens it to 8 (two
+/// vectors in flight). The lane count only changes the summation grouping
+/// at `group_size > 1`, so builds with different widths agree to the same
+/// tolerance as any other group size — and `group_size ≤ 1` is bitwise
+/// identical in both.
+#[cfg(not(feature = "simd"))]
+pub const EVAL_LANES: usize = 4;
+/// Accumulator-lane width of the batched evaluation loop (`simd` build).
+#[cfg(feature = "simd")]
+pub const EVAL_LANES: usize = 8;
+
+/// Aggregate statistics of one processor's batched force phase:
+/// `interactions / list_entries` is the list-reuse factor (approaches the
+/// group size for spatially compact groups) and `list_entries / groups`
+/// the mean interaction-list length.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForceListStats {
+    /// Group traversals performed (interaction lists built).
+    pub groups: u64,
+    /// Total entries emitted across all lists.
+    pub list_entries: u64,
+    /// Total pair interactions evaluated from the lists.
+    pub interactions: u64,
+}
+
+impl ForceListStats {
+    /// Merge another processor's (or stage's) statistics into this one.
+    pub fn accumulate(&mut self, other: &ForceListStats) {
+        self.groups += other.groups;
+        self.list_entries += other.list_entries;
+        self.interactions += other.interactions;
+    }
+}
+
+/// Reusable per-processor SoA scratch for the batched force kernel's
+/// interaction lists, tagged [`Region::ForceList`] so attribution charges
+/// list traffic to its own region. Capacity is `node_capacity + n`: a
+/// traversal emits at most one entry per tree node (accepted cells) plus
+/// one per body (leaf members), so a list can never overflow.
+pub struct ForceScratch {
+    rows: Vec<ForceRow>,
+    cap: usize,
+}
+
+/// One processor's shared interaction list, structure-of-arrays
+/// `(x, y, z, mass)`. One buffer holds both halves of a group's list:
+/// **dense** entries (every member applies them) grow up from index 0 and
+/// **partial** entries (some members apply them, per a bitmask kept at the
+/// emitting processor) grow down from the capacity — their sum is bounded
+/// by `nodes + bodies`, so the halves can never collide. Entries carry no
+/// id: a member's own body in the dense half contributes exactly zero
+/// (`dx = dy = dz = 0`, and the `r2` guard keeps the scale finite).
+struct ForceRow {
+    xs: SharedVec<f64>,
+    ys: SharedVec<f64>,
+    zs: SharedVec<f64>,
+    ms: SharedVec<f64>,
+}
+
+impl ForceScratch {
+    /// Allocate one list row per processor, placed processor-local.
+    pub fn new<E: Env>(env: &E, flat: &FlatTree, n: usize, procs: usize) -> Self {
+        let cap = flat.node_capacity() + n;
+        let rows: Vec<ForceRow> = (0..procs)
+            .map(|q| {
+                let row = ForceRow {
+                    xs: SharedVec::new(env, cap, 0.0, Placement::Local(q)),
+                    ys: SharedVec::new(env, cap, 0.0, Placement::Local(q)),
+                    zs: SharedVec::new(env, cap, 0.0, Placement::Local(q)),
+                    ms: SharedVec::new(env, cap, 0.0, Placement::Local(q)),
+                };
+                row.xs.tag(env, Region::ForceList);
+                row.ys.tag(env, Region::ForceList);
+                row.zs.tag(env, Region::ForceList);
+                row.ms.tag(env, Region::ForceList);
+                row
+            })
+            .collect();
+        ForceScratch { rows, cap }
+    }
+
+    /// Entry capacity of each per-processor list.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Zero every list — allocation hygiene for engine reuse across jobs.
+    pub fn reset(&self) {
+        for row in &self.rows {
+            for k in 0..self.cap {
+                row.xs.poke(k, 0.0);
+                row.ys.poke(k, 0.0);
+                row.zs.poke(k, 0.0);
+                row.ms.poke(k, 0.0);
+            }
+        }
+    }
+}
+
+/// Store one emitted interaction-list entry's four SoA components at slot
+/// `k` of the processor's scratch row. The stores are timed — simulated
+/// platforms see the emission traffic under [`Region::ForceList`] — and
+/// the evaluation loops later stream the same slots back as plain slices
+/// ([`SharedVec::peek_slice`]), so the list is written exactly once.
+#[inline]
+fn emit_entry<E: Env>(env: &E, ctx: &mut E::Ctx, row: &ForceRow, k: usize, p: Vec3, m: f64) {
+    row.xs.store(env, ctx, k, p.x);
+    row.ys.store(env, ctx, k, p.y);
+    row.zs.store(env, ctx, k, p.z);
+    row.ms.store(env, ctx, k, m);
+}
+
+/// The widest group the kernel supports: one bit per member in the
+/// per-entry `u64` application mask. Larger configured sizes are clamped.
+pub const MAX_GROUP_SIZE: usize = 64;
+
+/// The half-open order-index window of the interaction-list group
+/// containing order index `i`: groups are aligned to absolute multiples
+/// of `group_size` (clamped to [`MAX_GROUP_SIZE`]) and clipped to `n`,
+/// independent of any zone boundary. Which bodies share a list is
+/// therefore a function of `(i, group_size, n)` alone — the property
+/// `tests/flat_force.rs` fuzzes.
+pub fn group_window(i: usize, group_size: usize, n: usize) -> (usize, usize) {
+    let gs = group_size.clamp(1, MAX_GROUP_SIZE);
+    let w0 = i - i % gs;
+    (w0, (w0 + gs).min(n))
+}
+
+/// The group windows a zone `[s, e)` participates in, as `(w0, w1, a0,
+/// a1)`: the full window `[w0, w1)` the traversal covers and the
+/// sub-range `[a0, a1)` this zone's owner applies the list to. A zone cut
+/// can split a window; both owners then traverse the identical full
+/// window (reads only, barrier-separated from the writes that produced
+/// them) and apply disjoint halves — group membership never depends on
+/// the partition, which keeps grouped runs processor-count independent
+/// whenever the underlying tree is.
+pub fn zone_group_windows(
+    s: usize,
+    e: usize,
+    group_size: usize,
+    n: usize,
+) -> Vec<(usize, usize, usize, usize)> {
+    let gs = group_size.clamp(1, MAX_GROUP_SIZE);
+    let mut out = Vec::new();
+    if s >= e {
+        return out;
+    }
+    let mut w0 = s - s % gs;
+    while w0 < e {
+        let w1 = (w0 + gs).min(n);
+        out.push((w0, w1, w0.max(s), w1.min(e)));
+        w0 += gs;
+    }
+    out
+}
+
+/// Batched force phase for one processor: the traversal/evaluation split
+/// over the flat snapshot.
+///
+/// **Traversal** walks the tree once per group of `group_size` consecutive
+/// bodies in zone order (Morton-sorted every `morton_every` steps, so
+/// groups are spatially compact). Every stack entry carries a bitmask of
+/// the members still *active* at that node — exactly the members whose own
+/// walk would visit it. A cell is first classified against the group's
+/// bounding box via the squared distances from the cell's center of mass
+/// to the box's nearest (`dmin²`) and farthest (`dmax²`) points, which
+/// bracket every member distance:
+///
+/// * **accept-all** — `side² < θ²·dmin²` (shrunk by [`GROUP_MARGIN`]):
+///   every active member's own criterion accepts, so one `(com, mass)`
+///   entry joins the list with the current mask;
+/// * **open-all** — `side² ≥ θ²·dmax²` (grown by the margin): every
+///   active member opens, so the children are pushed with the same mask;
+/// * **mixed** — the band in between: each active member is tested with
+///   its own exact criterion; the accepting subset takes the entry and the
+///   complement descends into the children.
+///
+/// Emission routes by acceptance: an entry every member applies (full
+/// mask) joins the **dense** shared list; a partially-accepted entry is
+/// pushed once onto the **partial** list together with its acceptance
+/// bitmask. Because the band is resolved with each member's exact
+/// criterion and the box bounds are conservative, every body's
+/// interaction *multiset* — and its visit count, which the kernel
+/// charges as [`VISIT_CYCLES`] × popcount — is identical to
+/// [`force_phase`]'s; only the summation order differs. At
+/// `group_size = 1` the box is a point, the group test *is* the
+/// member's own criterion, the self-entry is skipped at emission, and the
+/// sequential evaluation replays the DFS order — bitwise identical to the
+/// per-body walk.
+///
+/// **Evaluation** streams the dense list once per member in a
+/// structure-of-arrays loop with no masks or branches at all
+/// ([`EVAL_LANES`] independent accumulator lanes): a member's own body in
+/// the dense list contributes exactly zero, because `dx = dy = dz = 0`
+/// and the `r2` guard keeps the scale finite — so every evaluated flop is
+/// a real interaction and the loop auto-vectorizes cleanly. The partial
+/// list follows in the same packed shape with the member's mask bit
+/// blended in as a 0/1 weight (and summed for the interaction count).
+/// Exact per-body interaction counts (dense length plus the member's
+/// partial entries, minus its self appearances) are stored for costzones
+/// and debug-asserted to tile the group total. Caller barriers
+/// afterwards.
+#[allow(clippy::too_many_arguments)]
+pub fn force_phase_grouped<E: Env>(
+    env: &E,
+    ctx: &mut E::Ctx,
+    flat: &FlatTree,
+    world: &World,
+    params: &ForceParams,
+    scratch: &ForceScratch,
+    group_size: usize,
+    proc: usize,
+) -> ForceListStats {
+    let theta2 = params.theta * params.theta;
+    let eps2 = params.eps * params.eps;
+    let (s, e) = world.zone(proc);
+    let n = world.n;
+    let gs = group_size.clamp(1, MAX_GROUP_SIZE);
+    let row = &scratch.rows[proc];
+    let cap = scratch.cap;
+    let mut stack: Vec<(u32, u64)> = Vec::with_capacity(64);
+    let mut members: Vec<u32> = Vec::with_capacity(gs);
+    let mut mpos: Vec<Vec3> = Vec::with_capacity(gs);
+    // Partially-accepted entries carry a per-entry member bitmask instead
+    // of being scattered into per-member buffers: emission stays one store
+    // per entry, and the evaluation blends the mask bit into the packed
+    // loop as a 0/1 weight. `pmasks[k]` is the mask of the entry in row
+    // slot `k` (only the partial half, at the top of the row, is read).
+    let mut pmasks: Vec<u64> = vec![0; cap];
+    // O(1) self-lookup: `inv[b] = 1 + member-slot of body b` for current
+    // group members, 0 otherwise (unmarked again at group end).
+    let mut inv: Vec<u32> = vec![0; n];
+    let mut stats = ForceListStats::default();
+
+    for (w0, w1, a0, a1) in zone_group_windows(s, e, gs, n) {
+        let len = w1 - w0;
+        members.clear();
+        mpos.clear();
+        for i in w0..w1 {
+            let b = world.order.load(env, ctx, i);
+            members.push(b);
+            mpos.push(world.pos.load(env, ctx, b as usize));
+        }
+        // Group bounding box: Morton-consecutive members span a compact
+        // AABB, whose squared distance bounds to a cell are much tighter
+        // than a centroid sphere's for elongated runs — and need no sqrt.
+        let mut lo = mpos[0];
+        let mut hi = mpos[0];
+        for &p in &mpos[1..] {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            lo.z = lo.z.min(p.z);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+            hi.z = hi.z.max(p.z);
+        }
+        let single = len == 1;
+        let full: u64 = if len == 64 { !0 } else { (1u64 << len) - 1 };
+        for (mi, &b) in members.iter().enumerate() {
+            inv[b as usize] = mi as u32 + 1;
+        }
+
+        // Dense entries fill the row from the bottom, partial entries from
+        // the top; `dlen + plen ≤ nodes + bodies = cap`, so they never meet.
+        let mut dlen = 0usize;
+        let mut plen = 0usize;
+        // Bit `m` set: member `m`'s own body sits in that half (its
+        // contribution there is exactly zero; only the count subtracts it).
+        let mut self_in_dense = 0u64;
+        let mut self_in_partial = 0u64;
+        stack.clear();
+        stack.push((0, full)); // the root is always flat index 0
+        while let Some((idx, mask)) = stack.pop() {
+            let node = flat.nodes.load(env, ctx, idx as usize);
+            if node.is_leaf() {
+                let first = node.first as usize;
+                for j in first..first + node.count() as usize {
+                    let ob = flat.bodies.load(env, ctx, j);
+                    if single && ob == members[0] {
+                        continue; // keeps group_size = 1 bitwise-exact
+                    }
+                    let opos = world.pos.load(env, ctx, ob as usize);
+                    let om = world.mass.load(env, ctx, ob as usize);
+                    let mi = inv[ob as usize];
+                    if mask == full {
+                        if !single && mi != 0 {
+                            self_in_dense |= 1 << (mi - 1);
+                        }
+                        emit_entry(env, ctx, row, dlen, opos, om);
+                        dlen += 1;
+                    } else {
+                        if mi != 0 {
+                            self_in_partial |= (mask >> (mi - 1) & 1) << (mi - 1);
+                        }
+                        plen += 1;
+                        emit_entry(env, ctx, row, cap - plen, opos, om);
+                        pmasks[cap - plen] = mask;
+                    }
+                }
+                continue;
+            }
+            // The members active here are exactly those whose own walk
+            // visits this cell, so the visit charge matches force_phase.
+            env.compute(ctx, VISIT_CYCLES * u64::from(mask.count_ones()));
+            let side = 2.0 * node.half;
+            if single {
+                // A point box: the group test is the member's own
+                // criterion, in the same squared form as `force_phase`.
+                if cell_accepted(side, theta2, mpos[0].dist_sq(node.com)) {
+                    emit_entry(env, ctx, row, dlen, node.com, node.mass);
+                    dlen += 1;
+                } else {
+                    let first = node.first as usize;
+                    for j in (first..first + node.count() as usize).rev() {
+                        stack.push((flat.kids.load(env, ctx, j), full));
+                    }
+                }
+                continue;
+            }
+            // Squared distance from the cell's com to the nearest and
+            // farthest points of the member box: every member distance
+            // d_m satisfies dmin² ≤ d_m² ≤ dmax².
+            let nx = (lo.x - node.com.x).max(node.com.x - hi.x).max(0.0);
+            let ny = (lo.y - node.com.y).max(node.com.y - hi.y).max(0.0);
+            let nz = (lo.z - node.com.z).max(node.com.z - hi.z).max(0.0);
+            let dmin2 = nx * nx + ny * ny + nz * nz;
+            let fx = (node.com.x - lo.x).abs().max((hi.x - node.com.x).abs());
+            let fy = (node.com.y - lo.y).abs().max((hi.y - node.com.y).abs());
+            let fz = (node.com.z - lo.z).abs().max((hi.z - node.com.z).abs());
+            let dmax2 = fx * fx + fy * fy + fz * fz;
+            let accept_mask =
+                if dmin2 > 0.0 && cell_accepted(side, theta2, dmin2 * (1.0 - GROUP_MARGIN)) {
+                    mask // accept-all: every member's criterion holds
+                } else if !cell_accepted(side, theta2, dmax2 * (1.0 + GROUP_MARGIN)) {
+                    0 // open-all: every member opens
+                } else {
+                    // Mixed band: each active member decides exactly.
+                    let mut am = 0u64;
+                    let mut rem = mask;
+                    while rem != 0 {
+                        let m = rem.trailing_zeros() as usize;
+                        rem &= rem - 1;
+                        if cell_accepted(side, theta2, mpos[m].dist_sq(node.com)) {
+                            am |= 1 << m;
+                        }
+                    }
+                    am
+                };
+            if accept_mask != 0 {
+                if accept_mask == full {
+                    emit_entry(env, ctx, row, dlen, node.com, node.mass);
+                    dlen += 1;
+                } else {
+                    plen += 1;
+                    emit_entry(env, ctx, row, cap - plen, node.com, node.mass);
+                    pmasks[cap - plen] = accept_mask;
+                }
+            }
+            let open_mask = mask & !accept_mask;
+            if open_mask != 0 {
+                let first = node.first as usize;
+                for j in (first..first + node.count() as usize).rev() {
+                    stack.push((flat.kids.load(env, ctx, j), open_mask));
+                }
+            }
+        }
+
+        stats.groups += 1;
+        stats.list_entries += (dlen + plen) as u64;
+
+        // Evaluation: stream the row's two halves straight from the scratch
+        // (untimed borrows — the list was charged at emission) and apply
+        // them to the members this zone owns.
+        let xs = row.xs.peek_slice(0..dlen);
+        let ys = row.ys.peek_slice(0..dlen);
+        let zs = row.zs.peek_slice(0..dlen);
+        let ms = row.ms.peek_slice(0..dlen);
+        let pxs = row.xs.peek_slice(cap - plen..cap);
+        let pys = row.ys.peek_slice(cap - plen..cap);
+        let pzs = row.zs.peek_slice(cap - plen..cap);
+        let pms = row.ms.peek_slice(cap - plen..cap);
+        let pmk = &pmasks[cap - plen..cap];
+        #[cfg(debug_assertions)]
+        let before = stats.interactions;
+        for i in a0..a1 {
+            let m = i - w0;
+            let b = members[m];
+            let (acc, cnt) = if single {
+                eval_list_seq(xs, ys, zs, ms, mpos[m], params.gravity, eps2)
+            } else {
+                let dense =
+                    eval_list_lanes::<EVAL_LANES>(xs, ys, zs, ms, mpos[m], params.gravity, eps2);
+                let (part, pcnt) = eval_masked_lanes::<EVAL_LANES>(
+                    pxs,
+                    pys,
+                    pzs,
+                    pms,
+                    pmk,
+                    m as u32,
+                    mpos[m],
+                    params.gravity,
+                    eps2,
+                );
+                let cnt = dlen as u32 + pcnt
+                    - ((self_in_dense >> m) & 1) as u32
+                    - ((self_in_partial >> m) & 1) as u32;
+                (dense + part, cnt)
+            };
+            env.compute(ctx, INTERACT_CYCLES * u64::from(cnt));
+            world.acc.store(env, ctx, b as usize, acc);
+            // Exact count (no floor): costzones guards zero at read time.
+            world.cost.store(env, ctx, b as usize, cnt);
+            stats.interactions += u64::from(cnt);
+        }
+        #[cfg(debug_assertions)]
+        {
+            // Per-body counts must tile the group total: dense entries
+            // plus the partial entries whose mask names the member, minus
+            // the member's own appearances (recounted from the raw masks,
+            // independently of the evaluation loop's running count).
+            let mut expect = 0u64;
+            for i in a0..a1 {
+                let m = i - w0;
+                let mut per = dlen as u64;
+                if !single {
+                    for &pm in pmk {
+                        per += (pm >> m) & 1;
+                    }
+                    per -= (self_in_dense >> m) & 1;
+                    per -= (self_in_partial >> m) & 1;
+                }
+                expect += per;
+            }
+            debug_assert_eq!(
+                stats.interactions - before,
+                expect,
+                "per-body interaction counts must tile the group total"
+            );
+        }
+        for &b in &members {
+            inv[b as usize] = 0;
+        }
+    }
+    stats
+}
+
+/// Sequential list evaluation — the `group_size = 1` path. Entries are
+/// applied in emission (DFS pre-)order with the same arithmetic as the
+/// per-body walk, so the result is bitwise identical to [`force_phase`].
+fn eval_list_seq(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    ms: &[f64],
+    pos: Vec3,
+    gravity: f64,
+    eps2: f64,
+) -> (Vec3, u32) {
+    let mut acc = Vec3::ZERO;
+    for k in 0..xs.len() {
+        let src = Vec3::new(xs[k], ys[k], zs[k]);
+        acc += pair_accel_eps2(pos, src, ms[k], gravity, eps2);
+    }
+    (acc, xs.len() as u32)
+}
+
+/// One pair interaction in the lane loop's fused shape, identical
+/// arithmetic to `pair_accel_eps2`. No self-exclusion is needed: a
+/// member's own dense entry has `dx = dy = dz = 0`, the
+/// `max(MIN_POSITIVE)` guard keeps `sca` finite even at `eps = 0`, and
+/// `0 · sca` contributes exactly zero; the guard is the identity for
+/// every real pair.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn accum_pair(
+    dx: f64,
+    dy: f64,
+    dz: f64,
+    m: f64,
+    gravity: f64,
+    eps2: f64,
+    ax: &mut f64,
+    ay: &mut f64,
+    az: &mut f64,
+) {
+    let r2 = (dx * dx + dy * dy + dz * dz + eps2).max(f64::MIN_POSITIVE);
+    let r = r2.sqrt();
+    let sca = gravity * m / (r2 * r);
+    *ax += dx * sca;
+    *ay += dy * sca;
+    *az += dz * sca;
+}
+
+/// Structure-of-arrays evaluation of one member against the dense half of
+/// the list: `L` independent accumulator lanes (no loop-carried
+/// dependence, no masks, no branches — every lane is a real interaction,
+/// so the loop auto-vectorizes to packed sqrt/divide), and a fixed
+/// pairwise lane combine so results are deterministic for a given `L`.
+/// The caller derives the interaction count from the list lengths.
+///
+/// `inline(never)`: compiled as its own function the SLP vectorizer
+/// reliably turns into packed sqrt/divide — inlined into the (large,
+/// `Env`-generic) traversal body it stays scalar, which costs ~2-4x on
+/// the kernel's throughput bound. One call per member per list is noise.
+#[inline(never)]
+fn eval_list_lanes<const L: usize>(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    ms: &[f64],
+    pos: Vec3,
+    gravity: f64,
+    eps2: f64,
+) -> Vec3 {
+    let n = xs.len();
+    let mut axl = [0.0f64; L];
+    let mut ayl = [0.0f64; L];
+    let mut azl = [0.0f64; L];
+    let mut k = 0;
+    while k + L <= n {
+        let xc = &xs[k..k + L];
+        let yc = &ys[k..k + L];
+        let zc = &zs[k..k + L];
+        let mc = &ms[k..k + L];
+        for l in 0..L {
+            accum_pair(
+                xc[l] - pos.x,
+                yc[l] - pos.y,
+                zc[l] - pos.z,
+                mc[l],
+                gravity,
+                eps2,
+                &mut axl[l],
+                &mut ayl[l],
+                &mut azl[l],
+            );
+        }
+        k += L;
+    }
+    // Remainder entries round-robin into the lanes.
+    let mut lane = 0;
+    while k < n {
+        accum_pair(
+            xs[k] - pos.x,
+            ys[k] - pos.y,
+            zs[k] - pos.z,
+            ms[k],
+            gravity,
+            eps2,
+            &mut axl[lane],
+            &mut ayl[lane],
+            &mut azl[lane],
+        );
+        lane = (lane + 1) % L;
+        k += 1;
+    }
+    Vec3::new(fold_lanes(&axl), fold_lanes(&ayl), fold_lanes(&azl))
+}
+
+/// Mask-blended variant of [`eval_list_lanes`] for the partial list: the
+/// entry's mask bit for member `m` becomes a 0/1 weight on the scale
+/// factor (`1.0 ·` is exact, `0.0 ·` contributes nothing, and the `r2`
+/// guard keeps the scale finite), so the loop stays branch-free and
+/// vectorizes to packed sqrt/divide with the bit extraction folded in as
+/// integer lanes. Returns the accumulated acceleration and the number of
+/// entries whose mask named the member — the member's own body, if
+/// present, is included and must be subtracted by the caller.
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn eval_masked_lanes<const L: usize>(
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    ms: &[f64],
+    masks: &[u64],
+    m: u32,
+    pos: Vec3,
+    gravity: f64,
+    eps2: f64,
+) -> (Vec3, u32) {
+    let n = xs.len().min(masks.len());
+    let mut axl = [0.0f64; L];
+    let mut ayl = [0.0f64; L];
+    let mut azl = [0.0f64; L];
+    let mut cntl = [0u64; L];
+    let mut k = 0;
+    while k + L <= n {
+        let xc = &xs[k..k + L];
+        let yc = &ys[k..k + L];
+        let zc = &zs[k..k + L];
+        let mc = &ms[k..k + L];
+        let mks = &masks[k..k + L];
+        for l in 0..L {
+            let bit = (mks[l] >> m) & 1;
+            let dx = xc[l] - pos.x;
+            let dy = yc[l] - pos.y;
+            let dz = zc[l] - pos.z;
+            let r2 = (dx * dx + dy * dy + dz * dz + eps2).max(f64::MIN_POSITIVE);
+            let r = r2.sqrt();
+            let sca = bit as f64 * gravity * mc[l] / (r2 * r);
+            axl[l] += dx * sca;
+            ayl[l] += dy * sca;
+            azl[l] += dz * sca;
+            cntl[l] += bit;
+        }
+        k += L;
+    }
+    let mut cnt: u64 = cntl.iter().sum();
+    // Remainder entries round-robin into the lanes.
+    let mut lane = 0;
+    while k < n {
+        let bit = (masks[k] >> m) & 1;
+        let dx = xs[k] - pos.x;
+        let dy = ys[k] - pos.y;
+        let dz = zs[k] - pos.z;
+        let r2 = (dx * dx + dy * dy + dz * dz + eps2).max(f64::MIN_POSITIVE);
+        let r = r2.sqrt();
+        let sca = bit as f64 * gravity * ms[k] / (r2 * r);
+        axl[lane] += dx * sca;
+        ayl[lane] += dy * sca;
+        azl[lane] += dz * sca;
+        cnt += bit;
+        lane = (lane + 1) % L;
+        k += 1;
+    }
+    (
+        Vec3::new(fold_lanes(&axl), fold_lanes(&ayl), fold_lanes(&azl)),
+        cnt as u32,
+    )
+}
+
+/// Fixed-order pairwise reduction of the accumulator lanes.
+#[inline]
+fn fold_lanes(lanes: &[f64]) -> f64 {
+    match lanes.len() {
+        4 => (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]),
+        8 => {
+            ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+        }
+        _ => lanes.iter().sum(),
     }
 }
 
@@ -152,7 +856,7 @@ pub fn force_phase_recursive<E: Env>(
             &mut interactions,
         );
         world.acc.store(env, ctx, b as usize, acc);
-        world.cost.store(env, ctx, b as usize, interactions.max(1));
+        world.cost.store(env, ctx, b as usize, interactions);
     }
 }
 
@@ -188,10 +892,17 @@ fn body_force<E: Env>(
         return; // husk cell (UPDATE) — contributes nothing
     }
     env.compute(ctx, VISIT_CYCLES);
-    let d2 = pos.dist_sq(c.com);
     let side = 2.0 * c.half;
-    if side * side < params.theta * params.theta * d2 {
-        *acc += pair_accel(pos, c.com, c.mass, params);
+    if let Some(a) = cell_interaction(
+        pos,
+        c.com,
+        c.mass,
+        side,
+        params.theta * params.theta,
+        params.gravity,
+        params.eps * params.eps,
+    ) {
+        *acc += a;
         *interactions += 1;
         env.compute(ctx, INTERACT_CYCLES);
         return;
@@ -280,10 +991,17 @@ fn seq_walk(
             if *mass == 0.0 {
                 return;
             }
-            let d2 = pos.dist_sq(*com);
             let side = cube.side();
-            if side * side < params.theta * params.theta * d2 {
-                *acc += pair_accel(pos, *com, *mass, params);
+            if let Some(a) = cell_interaction(
+                pos,
+                *com,
+                *mass,
+                side,
+                params.theta * params.theta,
+                params.gravity,
+                params.eps * params.eps,
+            ) {
+                *acc += a;
                 *interactions += 1;
                 return;
             }
@@ -415,5 +1133,39 @@ mod tests {
         let (_, n_loose) = seq_accel(&tree, &pos, &mass, 0, &loose);
         let (_, n_tight) = seq_accel(&tree, &pos, &mass, 0, &tight);
         assert!(n_loose < n_tight, "loose {n_loose} vs tight {n_tight}");
+    }
+
+    #[test]
+    fn group_windows_are_zone_independent() {
+        // Every order index lands in the window `group_window` names, no
+        // matter how the zone boundaries fall.
+        let n = 103;
+        let gs = 16;
+        for cut in [0usize, 1, 7, 16, 17, 40, 102, 103] {
+            for (w0, w1, a0, a1) in zone_group_windows(0, cut, gs, n)
+                .into_iter()
+                .chain(zone_group_windows(cut, n, gs, n))
+            {
+                for i in a0..a1 {
+                    assert_eq!(group_window(i, gs, n), (w0, w1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zone_group_windows_tile_the_zone() {
+        let n = 64;
+        for gs in [1, 3, 16, 100] {
+            let windows = zone_group_windows(10, 50, gs, n);
+            let mut next = 10;
+            for (w0, w1, a0, a1) in windows {
+                assert!(w0 <= a0 && a1 <= w1);
+                assert_eq!(next, a0);
+                next = a1;
+            }
+            assert_eq!(next, 50);
+        }
+        assert!(zone_group_windows(5, 5, 4, 64).is_empty());
     }
 }

@@ -20,7 +20,7 @@
 use crate::algorithms::{morton, Algorithm, Builder};
 use crate::app::{PhaseSample, ProcRecord, SimConfig};
 use crate::env::{Env, Phase};
-use crate::force::{force_phase, force_phase_recursive};
+use crate::force::{force_phase, force_phase_grouped, force_phase_recursive, ForceScratch};
 use crate::math::Vec3;
 use crate::partition::{costzones, morton_reorder};
 use crate::sync::Mutex;
@@ -36,6 +36,9 @@ pub struct StageIo<'a> {
     pub world: &'a World,
     pub tree: &'a SharedTree,
     pub flat: Option<&'a FlatTree>,
+    /// Per-processor interaction-list scratch for the batched force kernel
+    /// (present whenever `flat` is).
+    pub force_scratch: Option<&'a ForceScratch>,
     pub builder: &'a Builder,
     pub total_steps: usize,
     /// Positions as of the last tree build, captured for validation (the
@@ -43,21 +46,31 @@ pub struct StageIo<'a> {
     pub tree_snapshot: &'a Mutex<Option<Vec<Vec3>>>,
 }
 
-/// Sub-phase times a stage reports back to the accounting loop. Only the
-/// tree stages report nonzero values: the flatten pass of the linked-tree
-/// pipeline, or the key sort of the MORTON pipeline (never both).
+/// Per-stage metrics a stage reports back to the accounting loop. The tree
+/// stages report sub-phase times (the flatten pass of the linked-tree
+/// pipeline, or the key sort of the MORTON pipeline — never both); the
+/// force stage reports the batched kernel's interaction-list statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageExtra {
     /// Time spent in the cooperative flat-snapshot pass.
     pub flatten: u64,
     /// Time spent in the parallel Morton key sort.
     pub sort: u64,
+    /// Interaction-list group traversals performed by the batched kernel.
+    pub force_groups: u64,
+    /// Interaction-list entries emitted by the batched kernel.
+    pub force_list_entries: u64,
+    /// Pair interactions evaluated from the lists.
+    pub force_interactions: u64,
 }
 
 impl StageExtra {
     pub const NONE: StageExtra = StageExtra {
         flatten: 0,
         sort: 0,
+        force_groups: 0,
+        force_list_entries: 0,
+        force_interactions: 0,
     };
 }
 
@@ -166,6 +179,11 @@ impl<E: Env> StepPipeline<E> {
                     rec.flatten_time += extra.flatten;
                     rec.sort_time += extra.sort;
                 }
+                if phase == Phase::Force {
+                    rec.force_groups += extra.force_groups;
+                    rec.force_list_entries += extra.force_list_entries;
+                    rec.force_interactions += extra.force_interactions;
+                }
             }
             prev_stats = stats;
             prev_t = t;
@@ -222,7 +240,7 @@ impl<E: Env> StepStage<E> for TreeStage {
         }
         StageExtra {
             flatten: flatten_t,
-            sort: 0,
+            ..StageExtra::NONE
         }
     }
 }
@@ -274,8 +292,8 @@ impl<E: Env> StepStage<E> for MortonTreeStage {
             *io.tree_snapshot.lock() = Some(io.world.positions());
         }
         StageExtra {
-            flatten: 0,
             sort: sort_t,
+            ..StageExtra::NONE
         }
     }
 }
@@ -327,8 +345,10 @@ impl<E: Env> StepStage<E> for PartitionStage {
     }
 }
 
-/// Force computation over the flat snapshot (or the recursive walk in the
-/// `flat_force = false` ablation).
+/// Force computation over the flat snapshot: the batched
+/// traversal/evaluation kernel by default (`group_size ≥ 1`), the per-body
+/// flat walk in the `group_size = 0` ablation, or the recursive walk in
+/// the `flat_force = false` ablation.
 struct ForceStage;
 
 impl<E: Env> StepStage<E> for ForceStage {
@@ -344,12 +364,39 @@ impl<E: Env> StepStage<E> for ForceStage {
         proc: usize,
         _step: u32,
     ) -> StageExtra {
-        match io.flat {
-            Some(flat) => force_phase(env, ctx, flat, io.world, &io.cfg.force, proc),
-            None => force_phase_recursive(env, ctx, io.tree, io.world, &io.cfg.force, proc),
-        }
+        let extra = match io.flat {
+            Some(flat) if io.cfg.group_size > 0 => {
+                let scratch = io
+                    .force_scratch
+                    .expect("the batched force kernel requires the force-list scratch");
+                let fl = force_phase_grouped(
+                    env,
+                    ctx,
+                    flat,
+                    io.world,
+                    &io.cfg.force,
+                    scratch,
+                    io.cfg.group_size,
+                    proc,
+                );
+                StageExtra {
+                    force_groups: fl.groups,
+                    force_list_entries: fl.list_entries,
+                    force_interactions: fl.interactions,
+                    ..StageExtra::NONE
+                }
+            }
+            Some(flat) => {
+                force_phase(env, ctx, flat, io.world, &io.cfg.force, proc);
+                StageExtra::NONE
+            }
+            None => {
+                force_phase_recursive(env, ctx, io.tree, io.world, &io.cfg.force, proc);
+                StageExtra::NONE
+            }
+        };
         env.barrier(ctx);
-        StageExtra::NONE
+        extra
     }
 }
 

@@ -1419,6 +1419,9 @@ pub struct MatrixSpec {
     /// Body-model seed.
     pub body_seed: u64,
     pub op_budget: u64,
+    /// Force-kernel group size (`SimConfig::group_size`): `0` explores the
+    /// per-body flat-walk ablation, `>= 1` the batched list kernel.
+    pub group_size: usize,
 }
 
 impl MatrixSpec {
@@ -1442,6 +1445,7 @@ impl MatrixSpec {
             measured_steps: 1,
             body_seed: 1998,
             op_budget: 2_000_000,
+            group_size: SimConfig::new(Algorithm::Orig).group_size,
         }
     }
 }
@@ -1467,6 +1471,7 @@ pub fn explore_algorithm(
     cfg.k = spec.k;
     cfg.warmup_steps = spec.warmup_steps;
     cfg.measured_steps = spec.measured_steps;
+    cfg.group_size = spec.group_size;
     let sched_cfg = SchedConfig {
         op_budget: spec.op_budget,
         ..SchedConfig::default()

@@ -220,6 +220,23 @@ impl<T: Copy> SharedVec<T> {
     pub fn iter_peek(&self) -> impl Iterator<Item = T> + '_ {
         (0..self.len()).map(move |i| self.peek(i))
     }
+
+    /// Untimed borrow of a contiguous range — the native fast path for
+    /// per-processor scratch that the borrowing processor alone writes
+    /// (the batched force kernel streams its interaction lists straight
+    /// from the scratch row this way, with no per-element copies).
+    /// Stricter contract than [`SharedVec::peek`]: no processor may write
+    /// the range while the returned slice lives.
+    #[inline]
+    pub fn peek_slice(&self, range: core::ops::Range<usize>) -> &[T] {
+        let s = &self.slots[range];
+        // SAFETY: `UnsafeCell<T>` is `repr(transparent)` over `T`, so the
+        // pointer cast preserves layout; the contract above (no concurrent
+        // writes while the borrow lives) is the module-level race-freedom
+        // contract strengthened to exclude the owner's own writes, which
+        // makes the shared reference sound for its lifetime.
+        unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<T>(), s.len()) }
+    }
 }
 
 /// A shared array of atomic 32-bit counters, used for dynamic index

@@ -57,7 +57,7 @@ fn die(msg: &str) -> ! {
     eprintln!("probe: {msg}");
     eprintln!(
         "usage: probe <platform|native> <algorithm> <n> <procs> \
-         [--scale {}] [--trace <path>] [--attr]\n\
+         [--scale {}] [--trace <path>] [--attr] [--group-size <N>]\n\
          algorithms: {}",
         ExperimentScale::NAMES.join("|"),
         algorithm_names()
@@ -123,6 +123,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut scale: Option<ExperimentScale> = None;
     let mut attr = false;
+    let mut group_size: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -145,6 +146,17 @@ fn main() {
                 }));
             }
             "--attr" => attr = true,
+            "--group-size" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--group-size needs a value"));
+                group_size = Some(value.parse::<usize>().unwrap_or_else(|_| {
+                    die(&format!(
+                        "invalid --group-size '{value}' (integer >= 0; 0 = per-body walk)"
+                    ))
+                }));
+            }
             flag if flag.starts_with("--") => die(&format!("unrecognized flag '{flag}'")),
             other if positional.len() < 4 => positional.push(other.to_string()),
             extra => die(&format!("unexpected argument '{extra}'")),
@@ -175,7 +187,10 @@ fn main() {
         procs = s.procs(procs);
     }
     let bodies = Model::Plummer.generate(n, 1998);
-    let cfg = SimConfig::new(alg);
+    let mut cfg = SimConfig::new(alg);
+    if let Some(gs) = group_size {
+        cfg.group_size = gs;
+    }
     let label = format!("{} {alg}", positional[0]);
 
     let stats = if positional[0] == "native" {
@@ -243,6 +258,16 @@ fn main() {
         100.0 * stats.tree_fraction(),
         stats.force_time(),
     );
+    if stats.force_groups() > 0 {
+        println!(
+            "force lists: groups={} entries={} interactions={} len={:.1} reuse={:.2}",
+            stats.force_groups(),
+            stats.force_list_entries(),
+            stats.force_interactions(),
+            stats.force_list_len(),
+            stats.force_list_reuse(),
+        );
+    }
     println!("per-proc (measured steps):");
     for r in &stats.procs_records {
         let tree: u64 = r.steps.iter().map(|s| s.tree).sum();

@@ -62,7 +62,7 @@ use std::io::Write;
 
 fn usage_text() -> String {
     format!(
-        "usage: repro <experiment|all|matrix> [--scale {}] [--jobs <N>] [--json <path>] [--trace <path>]\n\
+        "usage: repro <experiment|all|matrix> [--scale {}] [--jobs <N>] [--json <path>] [--trace <path>] [--group-size <N>]\n\
          \x20      repro report [--scale <scale>] [--json <path>]\n\
          \x20      repro verify [--seeds <N>] [--procs <p,q,..>] [--exhaustive] [--self-test]\n\
          \x20      repro check-json <path>\n\
@@ -157,6 +157,7 @@ fn main() {
     let mut jobs = 1usize;
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut group_size: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -195,6 +196,17 @@ fn main() {
                         .unwrap_or_else(|| die("--trace needs a <path>")),
                 );
             }
+            "--group-size" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--group-size needs a value"));
+                group_size = Some(value.parse::<usize>().unwrap_or_else(|_| {
+                    die(&format!(
+                        "invalid --group-size '{value}' (integer >= 0; 0 = per-body walk)"
+                    ))
+                }));
+            }
             flag if flag.starts_with("--") => die(&format!("unrecognized flag '{flag}'")),
             other if which.is_none() => which = Some(other.to_string()),
             extra => die(&format!("unexpected argument '{extra}'")),
@@ -202,6 +214,9 @@ fn main() {
         i += 1;
     }
     let which = which.unwrap_or_else(|| die("missing experiment name"));
+    if group_size.is_some() && !matches!(which.as_str(), "all" | "treebuild" | "tb") {
+        die("--group-size only affects the 'treebuild' experiment (or 'all')");
+    }
 
     // The scaling/analysis report: communication-by-data-structure breakdown
     // (attribution-enabled runs), speedup/efficiency curves over a processor
@@ -263,7 +278,7 @@ fn main() {
         tables = experiments::all_experiments(scale);
     }
     if which == "all" || which == "treebuild" || which == "tb" {
-        let r = experiments::treebuild(scale);
+        let r = experiments::treebuild_with(scale, group_size);
         tables.push(r.table.clone());
         report = Some(r);
     } else if which != "matrix" {
@@ -443,7 +458,7 @@ fn load(path: &str) -> Json {
 }
 
 /// Numeric fields every treebuild BENCH record must carry.
-const TREEBUILD_FIELDS: [&str; 15] = [
+const TREEBUILD_FIELDS: [&str; 19] = [
     "n",
     "procs",
     "tree_cycles",
@@ -457,8 +472,12 @@ const TREEBUILD_FIELDS: [&str; 15] = [
     "tree_imbalance",
     "flatten_cycles",
     "sort_cycles",
+    "force_cycles",
+    "list_len",
+    "list_reuse",
     "native_tree_ns",
     "native_total_ns",
+    "native_force_ns",
 ];
 
 /// Validate an experiment-table, BENCH or REPORT document: well-formed
@@ -636,13 +655,15 @@ fn bench_key(r: &Json) -> Option<(String, String, String)> {
 /// are compared and printed but informational: multi-processor simulated
 /// timings carry real run-to-run jitter (host thread interleaving feeds
 /// the contention model), so gating them would flake.
-const DIFF_METRICS: [(&str, bool); 6] = [
+const DIFF_METRICS: [(&str, bool); 8] = [
     ("tree_cycles", false),
     ("flatten_cycles", false),
     ("sort_cycles", false),
+    ("force_cycles", false),
     ("barrier_wait_cycles", false),
     ("native_tree_ns", true),
     ("native_total_ns", true),
+    ("native_force_ns", true),
 ];
 
 /// Compare two BENCH documents metric by metric (records matched on

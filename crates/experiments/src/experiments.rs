@@ -413,6 +413,11 @@ struct TracedRun {
     flatten_cycles: u64,
     /// Max per-processor time in the parallel key sort (MORTON only).
     sort_cycles: u64,
+    /// Mean interaction-list length per group in the batched force kernel.
+    list_len: f64,
+    /// Interactions evaluated per emitted list entry (the kernel's reuse
+    /// factor; ≈ group_size when most groups share their whole list).
+    list_reuse: f64,
 }
 
 #[derive(Clone, Copy, Default)]
@@ -425,9 +430,18 @@ struct CtxStatsRow {
     faults: u64,
 }
 
-fn traced_run<E: Env>(env: &bh_core::trace::TraceEnv<E>, alg: Algorithm, n: usize) -> TracedRun {
+fn traced_run<E: Env>(
+    env: &bh_core::trace::TraceEnv<E>,
+    alg: Algorithm,
+    n: usize,
+    group_size: Option<usize>,
+) -> TracedRun {
     let bodies = Model::Plummer.generate(n, WORKLOAD_SEED);
-    let stats = run_simulation(env, &SimConfig::new(alg), &bodies);
+    let mut cfg = SimConfig::new(alg);
+    if let Some(gs) = group_size {
+        cfg.group_size = gs;
+    }
+    let stats = run_simulation(env, &cfg, &bodies);
     stats.assert_valid();
     let mut phase = [CtxStatsRow::default(); 4];
     for p in Phase::ALL {
@@ -460,6 +474,8 @@ fn traced_run<E: Env>(env: &bh_core::trace::TraceEnv<E>, alg: Algorithm, n: usiz
         tree_imbalance: stats.tree_imbalance(),
         flatten_cycles: stats.flatten_cycles(),
         sort_cycles: stats.sort_cycles(),
+        list_len: stats.force_list_len(),
+        list_reuse: stats.force_list_reuse(),
     }
 }
 
@@ -487,10 +503,21 @@ fn treebuild_row(table: &mut Table, platform: &str, alg: Algorithm, r: &TracedRu
 /// the per-phase breakdown, the combined Chrome trace and BENCH metrics.
 /// Native rows are in wall nanoseconds, origin rows in simulated cycles.
 pub fn treebuild(scale: ExperimentScale) -> TreebuildReport {
-    treebuild_sized(scale, scale.size(16384), scale.procs(16))
+    treebuild_with(scale, None)
 }
 
-fn treebuild_sized(scale: ExperimentScale, n: usize, procs: usize) -> TreebuildReport {
+/// Like [`treebuild`] but with an explicit force-kernel group size
+/// (`repro treebuild --group-size <N>`); `None` keeps the config default.
+pub fn treebuild_with(scale: ExperimentScale, group_size: Option<usize>) -> TreebuildReport {
+    treebuild_sized(scale, scale.size(16384), scale.procs(16), group_size)
+}
+
+fn treebuild_sized(
+    scale: ExperimentScale,
+    n: usize,
+    procs: usize,
+    group_size: Option<usize>,
+) -> TreebuildReport {
     let cost = platform::origin2000(procs);
     let mut table = Table::new(
         "Treebuild",
@@ -527,7 +554,7 @@ fn treebuild_sized(scale: ExperimentScale, n: usize, procs: usize) -> TreebuildR
         let (native, nat) = (0..3)
             .map(|_| {
                 let env = bh_core::trace::TraceEnv::new(NativeEnv::new(procs));
-                let run = traced_run(&env, alg, n);
+                let run = traced_run(&env, alg, n, group_size);
                 (env, run)
             })
             .min_by_key(|(_, run)| run.total_time)
@@ -540,7 +567,7 @@ fn treebuild_sized(scale: ExperimentScale, n: usize, procs: usize) -> TreebuildR
         ));
 
         let sim = bh_core::trace::TraceEnv::new(Machine::new(cost.clone(), procs));
-        let org = traced_run(&sim, alg, n);
+        let org = traced_run(&sim, alg, n, group_size);
         treebuild_row(&mut table, &cost.name, alg, &org);
         events.extend(sim.chrome_trace_events(
             2 * pid as u32 + 1,
@@ -556,7 +583,8 @@ fn treebuild_sized(scale: ExperimentScale, n: usize, procs: usize) -> TreebuildR
              \"barrier_wait_cycles\": {}, \"remote_misses\": {}, \"page_faults\": {}, \
              \"lock_ids\": {}, \"lock_acquires_all_steps\": {}, \"lock_wait_all_steps\": {}, \
              \"tree_imbalance\": {:.4}, \"flatten_cycles\": {}, \"sort_cycles\": {}, \
-             \"native_tree_ns\": {}, \"native_total_ns\": {}}}",
+             \"force_cycles\": {}, \"list_len\": {:.2}, \"list_reuse\": {:.4}, \
+             \"native_tree_ns\": {}, \"native_total_ns\": {}, \"native_force_ns\": {}}}",
             scale.name(),
             alg.name(),
             cost.name,
@@ -573,8 +601,12 @@ fn treebuild_sized(scale: ExperimentScale, n: usize, procs: usize) -> TreebuildR
             org.tree_imbalance,
             org.flatten_cycles,
             org.sort_cycles,
+            org.phase[2].time,
+            org.list_len,
+            org.list_reuse,
             nat.tree_time,
             nat.total_time,
+            nat.phase[2].time,
         ));
     }
     TreebuildReport {
@@ -663,7 +695,7 @@ mod tests {
 
     #[test]
     fn treebuild_report_is_complete_and_valid() {
-        let report = treebuild_sized(ExperimentScale::Tiny, 128, 2);
+        let report = treebuild_sized(ExperimentScale::Tiny, 128, 2, None);
         // 6 algorithms x 2 platforms.
         assert_eq!(report.table.rows.len(), 12);
 
@@ -705,6 +737,15 @@ mod tests {
             assert!(r.get("tree_cycles").and_then(Json::as_f64).unwrap() > 0.0);
             assert!(r.get("native_tree_ns").and_then(Json::as_f64).unwrap() > 0.0);
             assert!(r.get("tree_imbalance").and_then(Json::as_f64).unwrap() >= 1.0);
+            // Batched force kernel metrics: the default config runs it, so
+            // every record reports force time and nontrivial list reuse.
+            assert!(r.get("force_cycles").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(r.get("native_force_ns").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(r.get("list_len").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(
+                r.get("list_reuse").and_then(Json::as_f64).unwrap() > 1.0,
+                "grouped lists must be applied to more than one body each"
+            );
             let flatten = r.get("flatten_cycles").and_then(Json::as_f64).unwrap();
             let sort = r.get("sort_cycles").and_then(Json::as_f64).unwrap();
             if r.get("algorithm").and_then(Json::as_str) == Some("MORTON") {

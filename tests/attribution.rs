@@ -105,6 +105,16 @@ fn attribution_resolves_regions() {
         sort.local_misses + sort.remote_misses > 0,
         "MORTON's sort workspace traffic must land in its own region"
     );
+    // The batched force kernel emits interaction lists into tagged
+    // per-processor scratch; that traffic must resolve to its own region
+    // (for both builder families — MORTON and the lock-based ORIG).
+    for (name, run) in [("ORIG", &orig), ("MORTON", &morton)] {
+        let fl = run.region_total(Region::ForceList);
+        assert!(
+            fl.local_misses + fl.remote_misses > 0,
+            "{name}: force-list emission traffic must land in its own region"
+        );
+    }
 }
 
 /// Disabled telemetry is free: with attribution off (the default), the

@@ -99,6 +99,66 @@ fn warmup_steps_are_excluded_from_measured_totals() {
 }
 
 #[test]
+fn force_list_metrics_tile_and_are_processor_count_independent() {
+    // The batched force kernel reports (groups, list entries, interactions)
+    // through StageExtra into the per-processor records. Interactions are
+    // counted per *applied* body, so their total is an exact function of
+    // the body set — independent of processor count and group size — while
+    // group/entry totals may grow with processors (a window split across a
+    // zone boundary is traversed by both owners).
+    let bodies = Model::Plummer.generate(256, 1998);
+    let mut totals = Vec::new();
+    for procs in [1usize, 4] {
+        for gs in [1usize, 5, 16] {
+            let env = NativeEnv::new(procs);
+            let mut cfg = SimConfig::new(Algorithm::Morton);
+            cfg.k = 4;
+            cfg.warmup_steps = 0;
+            cfg.measured_steps = 2;
+            cfg.group_size = gs;
+            let stats = run_simulation(&env, &cfg, &bodies);
+            stats.assert_valid();
+            assert!(stats.force_groups() > 0, "{procs}p gs={gs}: no groups");
+            assert!(
+                stats.force_list_entries() >= stats.force_groups(),
+                "{procs}p gs={gs}: a traversal emits at least one entry"
+            );
+            // Derived metrics are exact ratios of the raw counters.
+            let len = stats.force_list_entries() as f64 / stats.force_groups() as f64;
+            assert!((stats.force_list_len() - len).abs() < 1e-12);
+            let reuse = stats.force_interactions() as f64 / stats.force_list_entries() as f64;
+            assert!((stats.force_list_reuse() - reuse).abs() < 1e-12);
+            totals.push(stats.force_interactions());
+        }
+    }
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "interaction totals must not depend on processors or group size: {totals:?}"
+    );
+}
+
+#[test]
+fn legacy_kernels_report_no_list_metrics() {
+    let bodies = Model::Plummer.generate(128, 1998);
+    let env = NativeEnv::new(2);
+    for (flat, gs) in [(true, 0), (false, 16)] {
+        let mut cfg = SimConfig::new(Algorithm::Orig);
+        cfg.k = 4;
+        cfg.warmup_steps = 0;
+        cfg.measured_steps = 1;
+        cfg.flat_force = flat;
+        cfg.group_size = gs;
+        let stats = run_simulation(&env, &cfg, &bodies);
+        stats.assert_valid();
+        assert_eq!(stats.force_groups(), 0, "flat={flat} gs={gs}");
+        assert_eq!(stats.force_list_entries(), 0, "flat={flat} gs={gs}");
+        assert_eq!(stats.force_interactions(), 0, "flat={flat} gs={gs}");
+        assert_eq!(stats.force_list_len(), 0.0);
+        assert_eq!(stats.force_list_reuse(), 0.0);
+    }
+}
+
+#[test]
 fn phase_stats_aggregates_counters_and_critical_path() {
     let stats = run(Algorithm::Local, 0, 1);
     let tree = stats.phase_stats(Phase::Tree);

@@ -115,6 +115,23 @@ fn recursive_force_ablation_race_free() {
 }
 
 #[test]
+fn grouped_force_kernel_group_sizes_race_free() {
+    // The default matrix already certifies the batched kernel at
+    // group_size = 16; this cell covers the knob's edges: the per-body flat
+    // walk ablation (0), per-body lists (1), and an odd size that leaves a
+    // remainder window straddling zone boundaries. Group windows may span
+    // two processors' zones — both traverse the shared snapshot read-only
+    // and emit only into their own scratch rows, so no cell may race.
+    for gs in [0usize, 1, 7] {
+        for alg in [Algorithm::Orig, Algorithm::Morton] {
+            let mut cfg = SimConfig::new(alg);
+            cfg.group_size = gs;
+            certify_cfg(cfg, 4, Model::Plummer, 96);
+        }
+    }
+}
+
+#[test]
 fn reused_engine_back_to_back_jobs_race_free() {
     // A SimEngine keeps its worker pool and shared allocations alive across
     // jobs; the detector's clocks persist at the environment level, and each

@@ -143,6 +143,38 @@ fn morton_sort_and_emit_kernel_bounded_exhaustive() {
     assert!(agg.schedules > 1, "explorer found no schedule branching");
 }
 
+/// The batched force kernel's knob edges under the controlled scheduler:
+/// the per-body ablation (`group_size = 0`), per-body lists (`1`), and an
+/// odd size (`3`) whose windows straddle the zone cut between the two
+/// processors, so both owners traverse the same shared window while
+/// emitting into disjoint scratch rows. The default matrix above already
+/// explores `group_size = 16`; these cells pin the remaining kernel
+/// variants on one lock-based and one lock-free builder.
+#[test]
+fn grouped_force_kernel_certifies_across_group_sizes() {
+    for gs in [0usize, 1, 3] {
+        let mut spec = MatrixSpec::fast(8);
+        spec.group_size = gs;
+        for alg in [Algorithm::Orig, Algorithm::Morton] {
+            let agg = explore_algorithm(
+                alg,
+                2,
+                &ExplorePlan::Seeded {
+                    base: 500,
+                    count: 8,
+                },
+                &spec,
+            );
+            assert!(
+                agg.certified(),
+                "{alg:?} group_size={gs}: {} defective schedule(s) of {}",
+                agg.defects,
+                agg.schedules,
+            );
+        }
+    }
+}
+
 /// The single deterministic round-robin schedule for every algorithm at
 /// both processor counts — the cheapest full-matrix sweep, and the one a
 /// failure reproduces exactly.
