@@ -75,6 +75,47 @@ echo "table1 --jobs 2 and --jobs 1 outputs are byte-identical"
 (cd "$SMOKE_DIR" && "$REPRO" matrix --scale tiny --jobs 1 --json matrix_j1.json >/dev/null)
 "$REPRO" check-same "$SMOKE_DIR/matrix_j2.json" "$SMOKE_DIR/matrix_j1.json"
 
+echo "== serve lane (unix-socket smoke against the serve binary) =="
+# Boot the standalone server, push a couple of jobs through a real socket,
+# and shut it down gracefully; its final stats line must account for every
+# job. The protocol robustness matrix (malformed/oversized/disconnect)
+# runs with the integration tests above (tests/serve_protocol.rs).
+SERVE_DIR="$SMOKE_DIR/serve"
+mkdir -p "$SERVE_DIR"
+SOCK="$SERVE_DIR/serve.sock"
+"$PWD/target/release/serve" --unix "$SOCK" --workers 2 --queue-cap 16 --engines 4 \
+    > "$SERVE_DIR/serve_stats.json" &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
+[ -S "$SOCK" ] || { echo "serve binary never bound $SOCK"; exit 1; }
+python3 - "$SOCK" <<'EOF'
+import json, socket, sys
+s = socket.socket(socket.AF_UNIX); s.connect(sys.argv[1])
+f = s.makefile("rw")
+for i in range(4):
+    f.write(json.dumps({"op": "job", "id": f"smoke{i}", "tenant": "gate",
+                        "n": 512, "steps": 1, "warmup": 0}) + "\n")
+f.flush()
+for i in range(4):
+    r = json.loads(f.readline())
+    assert r.get("ok") is True, r
+f.write('{"op":"shutdown"}\n'); f.flush()
+assert json.loads(f.readline()).get("ok") is True
+EOF
+wait "$SERVE_PID"
+grep -q '"served_total":4' "$SERVE_DIR/serve_stats.json" || {
+    echo "serve final stats wrong:"; cat "$SERVE_DIR/serve_stats.json"; exit 1; }
+
+echo "== serve soak (mixed-tenant load, backpressure under burst) =="
+# >= 200 jobs across >= 2 tenants through the self-hosted server: zero
+# failures, every digest bitwise-identical to a direct run, explicit
+# queue_full backpressure under the pipelined burst, then schema-check the
+# emitted serve_* records. Runs in its own directory so the treebuild
+# BENCH document above is not clobbered.
+(cd "$SERVE_DIR" && "$REPRO" bench-serve --scale tiny --tenants 2 --jobs 100 \
+    --workers 2 --queue-cap 8 --engines 4 --burst 40 --expect-backpressure)
+"$REPRO" check-json "$SERVE_DIR/BENCH_tiny.json"
+
 echo "== bench regression gate (fresh treebuild vs committed BENCH_small.json) =="
 "$REPRO" check-json BENCH_small.json
 (cd "$SMOKE_DIR" && "$REPRO" treebuild --scale small >/dev/null)

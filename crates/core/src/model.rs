@@ -24,6 +24,32 @@ pub enum Model {
 }
 
 impl Model {
+    /// Every generator, in documentation order.
+    pub const ALL: [Model; 3] = [
+        Model::Plummer,
+        Model::UniformSphere,
+        Model::TwoClusterCollision,
+    ];
+
+    /// Stable lower-case name (inverse of [`Model::parse`]); used by the
+    /// job protocol and CLI diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Plummer => "plummer",
+            Model::UniformSphere => "uniform",
+            Model::TwoClusterCollision => "collision",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Model> {
+        match s.to_ascii_lowercase().as_str() {
+            "plummer" => Some(Model::Plummer),
+            "uniform" | "sphere" => Some(Model::UniformSphere),
+            "collision" | "clusters" => Some(Model::TwoClusterCollision),
+            _ => None,
+        }
+    }
+
     /// Generate `n` bodies with the given RNG seed. Deterministic for a
     /// given `(model, n, seed)` triple.
     pub fn generate(self, n: usize, seed: u64) -> Vec<Body> {
@@ -198,6 +224,15 @@ mod tests {
         let left = bodies.iter().filter(|b| b.pos.x < 0.0).count();
         // Roughly half on each side of the yz-plane.
         assert!(left > 600 && left < 1400, "left = {left}");
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for m in Model::ALL {
+            assert_eq!(Model::parse(m.name()), Some(m));
+        }
+        assert_eq!(Model::parse("PLUMMER"), Some(Model::Plummer));
+        assert!(Model::parse("galaxy").is_none());
     }
 
     #[test]

@@ -242,7 +242,7 @@ impl Arena {
 
 /// How the tree's storage is laid out, reflecting the data-structure
 /// difference between the ORIG and SPLASH-2-style algorithms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TreeLayout {
     /// One global arena shared by all processors; allocation counters and
     /// per-processor bookkeeping live adjacent in shared memory (heavy false

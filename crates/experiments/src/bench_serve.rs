@@ -1,0 +1,453 @@
+//! `repro bench-serve`: the load generator and report for the job server.
+//!
+//! Drives a [`bh_serve`] server — self-hosted on a temporary unix socket,
+//! or an external one via `--connect` — with a configurable multi-tenant
+//! mix, then reports per-tenant p50/p95/p99 latency, throughput,
+//! queue-depth percentiles, cache hit-rate and backpressure counts, and
+//! writes the same numbers as `serve_*` records into `BENCH_<scale>.json`
+//! (validated by `repro check-json`).
+//!
+//! Physics gate: at one simulated processor runs are bitwise
+//! deterministic, so for `procs == 1` every served digest is checked
+//! against a direct [`SimEngine`](bh_core::engine::SimEngine) run of the
+//! same spec in this process; any mismatch fails the bench. The burst
+//! phase pipelines requests down one connection without reading responses,
+//! which overruns the bounded admission queue and must surface explicit
+//! `queue_full` rejections (`--expect-backpressure` turns their absence
+//! into a failure).
+
+use crate::runner::ExperimentScale;
+use crate::tables::json_escape;
+use bh_core::prelude::*;
+use bh_serve::cache::AnyEngine;
+use bh_serve::client::{burst, run_load, Client, TenantLoadResult, TenantPlan};
+use bh_serve::job::{digest_bodies, JobSpec};
+use bh_serve::json::Json;
+use bh_serve::server::{Server, ServerConfig};
+use bh_serve::transport::{spawn, Endpoint};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Everything `repro bench-serve` parses from its flags.
+#[derive(Debug, Clone)]
+pub struct BenchServeOpts {
+    pub scale: ExperimentScale,
+    /// External server endpoint; `None` self-hosts on a temp unix socket.
+    pub connect: Option<Endpoint>,
+    pub tenants: usize,
+    /// Jobs per tenant in the steady phase.
+    pub jobs: usize,
+    /// Self-hosted server knobs (ignored with `--connect`).
+    pub workers: usize,
+    pub queue_cap: usize,
+    pub engines: usize,
+    /// `true` = open loop (paced arrivals), `false` = closed loop.
+    pub open_loop: bool,
+    /// Open loop: target arrival rate per tenant, jobs/second.
+    pub rate: f64,
+    /// Closed loop: requests kept outstanding per tenant.
+    pub window: usize,
+    /// Pipelined burst size (0 disables the burst phase).
+    pub burst: usize,
+    /// Fail unless the burst provoked at least one `queue_full`.
+    pub expect_backpressure: bool,
+    /// Send `{"op":"shutdown"}` when done (self-hosted mode always does).
+    pub shutdown: bool,
+    /// Where to write the records; `None` means `BENCH_<scale>.json` in the
+    /// current directory.
+    pub out_path: Option<std::path::PathBuf>,
+}
+
+impl Default for BenchServeOpts {
+    fn default() -> BenchServeOpts {
+        BenchServeOpts {
+            scale: ExperimentScale::Small,
+            connect: None,
+            tenants: 2,
+            jobs: 100,
+            workers: 2,
+            queue_cap: 8,
+            engines: 4,
+            open_loop: false,
+            rate: 50.0,
+            window: 4,
+            burst: 32,
+            expect_backpressure: false,
+            shutdown: false,
+            out_path: None,
+        }
+    }
+}
+
+/// The job shape every tenant submits: one native processor (so digests
+/// are verifiable), scenario rotating through the generators (same engine
+/// shape — scenarios share allocations, so the cache stays hot).
+fn spec_for(scale: ExperimentScale, seq: usize) -> JobSpec {
+    let mut spec = JobSpec::defaults(scale.size(8192));
+    spec.scenario = Model::ALL[seq % Model::ALL.len()];
+    spec.warmup = 0;
+    spec.steps = 1;
+    spec
+}
+
+fn render_job(id: &str, tenant: &str, spec: &JobSpec) -> String {
+    format!(
+        "{{\"op\":\"job\",\"id\":\"{}\",\"tenant\":\"{}\",\"scenario\":\"{}\",\"algorithm\":\"{}\",\"platform\":\"{}\",\"n\":{},\"procs\":{},\"steps\":{},\"warmup\":{},\"k\":{},\"group_size\":{},\"seed\":{}}}",
+        json_escape(id),
+        json_escape(tenant),
+        spec.scenario.name(),
+        spec.algorithm.name(),
+        spec.platform.name(),
+        spec.n,
+        spec.procs,
+        spec.steps,
+        spec.warmup,
+        spec.k,
+        spec.group_size,
+        spec.seed,
+    )
+}
+
+/// Expected digest per distinct spec, via direct engine runs (the ground
+/// truth the served results must match bitwise at one processor).
+fn expected_digests(scale: ExperimentScale) -> HashMap<String, u64> {
+    let mut out = HashMap::new();
+    for seq in 0..Model::ALL.len() {
+        let spec = spec_for(scale, seq);
+        let mut engine = AnyEngine::fresh(&spec.shape());
+        let (_, finals) = engine.run(&spec.config(), &spec.bodies());
+        out.insert(spec.scenario.name().to_string(), digest_bodies(&finals));
+    }
+    out
+}
+
+struct StatsView {
+    depth_p50: u64,
+    depth_p99: u64,
+    depth_hwm: u64,
+    capacity: u64,
+    rejected_full: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    tenants: Vec<(String, u64, u64)>, // (name, served, rejected)
+}
+
+fn fetch_stats(client: &mut Client) -> Result<StatsView, String> {
+    let line = client
+        .request(r#"{"op":"stats"}"#)
+        .map_err(|e| format!("stats request failed: {e}"))?;
+    let doc = Json::parse(&line).map_err(|e| format!("stats response: {e}"))?;
+    let num = |key: &str| -> Result<u64, String> {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("stats response lacks numeric '{key}': {line}"))
+    };
+    let mut tenants = Vec::new();
+    if let Some(rows) = doc.get("tenants").and_then(Json::as_array) {
+        for row in rows {
+            let name = row
+                .get("tenant")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let served = row.get("served").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            let rejected = row.get("rejected").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            tenants.push((name, served, rejected));
+        }
+    }
+    Ok(StatsView {
+        depth_p50: num("depth_p50")?,
+        depth_p99: num("depth_p99")?,
+        depth_hwm: num("depth_hwm")?,
+        capacity: num("queue_capacity")?,
+        rejected_full: num("rejected_full")?,
+        cache_hits: num("cache_hits")?,
+        cache_misses: num("cache_misses")?,
+        cache_evictions: num("cache_evictions")?,
+        tenants,
+    })
+}
+
+/// Check every successful response's digest against the ground truth.
+/// Returns (verified, mismatches).
+fn verify_digests(
+    results: &[TenantLoadResult],
+    expected: &HashMap<String, u64>,
+    id_scenarios: &HashMap<String, String>,
+) -> (u64, u64) {
+    let (mut verified, mut mismatches) = (0, 0);
+    for r in results {
+        for line in &r.responses {
+            let Ok(doc) = Json::parse(line) else { continue };
+            if doc.get("ok") != Some(&Json::Bool(true)) {
+                continue;
+            }
+            let Some(id) = doc.get("id").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(scenario) = id_scenarios.get(id) else {
+                continue;
+            };
+            let served = doc
+                .get("digest")
+                .and_then(Json::as_str)
+                .and_then(|h| u64::from_str_radix(h, 16).ok());
+            match (served, expected.get(scenario)) {
+                (Some(d), Some(&e)) if d == e => verified += 1,
+                _ => mismatches += 1,
+            }
+        }
+    }
+    (verified, mismatches)
+}
+
+/// Run the bench; returns the `BENCH_<scale>.json` path on success, or a
+/// diagnostic on any gate failure (failed jobs, digest mismatch, expected
+/// backpressure not observed).
+pub fn run_bench(opts: &BenchServeOpts) -> Result<String, String> {
+    // Self-host unless pointed at an external server.
+    let (endpoint, listener) = match &opts.connect {
+        Some(ep) => (ep.clone(), None),
+        None => {
+            let path =
+                std::env::temp_dir().join(format!("bh-serve-bench-{}.sock", std::process::id()));
+            let endpoint = Endpoint::Unix(path);
+            let server = Server::start(ServerConfig {
+                workers: opts.workers.max(1),
+                queue_capacity: opts.queue_cap.max(1),
+                engine_capacity: opts.engines.max(1),
+                ..ServerConfig::default()
+            });
+            let handle = spawn(server, endpoint.clone());
+            (endpoint, Some(handle))
+        }
+    };
+    let mut control = Client::connect_with_retry(&endpoint, 100)
+        .map_err(|e| format!("cannot connect to {endpoint:?}: {e}"))?;
+    control
+        .request(r#"{"op":"ping"}"#)
+        .map_err(|e| format!("ping failed: {e}"))?;
+
+    // Ground truth digests before generating load (direct engine runs).
+    let expected = expected_digests(opts.scale);
+
+    // Steady phase: `tenants` concurrent connections, `jobs` jobs each.
+    let mut plans = Vec::new();
+    let mut id_scenarios: HashMap<String, String> = HashMap::new();
+    for t in 0..opts.tenants.max(1) {
+        let name = format!("tenant{t}");
+        let mut requests = Vec::with_capacity(opts.jobs);
+        for j in 0..opts.jobs {
+            let spec = spec_for(opts.scale, t + j);
+            let id = format!("{name}-j{j}");
+            id_scenarios.insert(id.clone(), spec.scenario.name().to_string());
+            requests.push(render_job(&id, &name, &spec));
+        }
+        plans.push(TenantPlan {
+            name,
+            requests,
+            window: opts.window.max(1),
+            gap: opts
+                .open_loop
+                .then(|| Duration::from_secs_f64(1.0 / opts.rate.max(0.001))),
+        });
+    }
+    let results = run_load(&endpoint, plans).map_err(|e| format!("load generation: {e}"))?;
+
+    // Burst phase: pipeline without reading to overrun the queue.
+    let mut burst_rejected = 0u64;
+    let mut burst_ok = 0u64;
+    if opts.burst > 0 {
+        let requests: Vec<String> = (0..opts.burst)
+            .map(|j| {
+                let spec = spec_for(opts.scale, j);
+                let id = format!("burst-j{j}");
+                id_scenarios.insert(id.clone(), spec.scenario.name().to_string());
+                render_job(&id, "burst", &spec)
+            })
+            .collect();
+        for line in burst(&endpoint, &requests).map_err(|e| format!("burst: {e}"))? {
+            match Json::parse(&line) {
+                Ok(doc) if doc.get("ok") == Some(&Json::Bool(true)) => burst_ok += 1,
+                Ok(doc) if doc.get("error").and_then(Json::as_str) == Some("queue_full") => {
+                    burst_rejected += 1
+                }
+                _ => return Err(format!("burst job failed: {line}")),
+            }
+        }
+    }
+
+    let stats = fetch_stats(&mut control)?;
+    if opts.shutdown || listener.is_some() {
+        control
+            .request(r#"{"op":"shutdown"}"#)
+            .map_err(|e| format!("shutdown: {e}"))?;
+    }
+    if let Some(handle) = listener {
+        handle
+            .join()
+            .map_err(|_| "listener thread panicked".to_string())?
+            .map_err(|e| format!("listener: {e}"))?;
+    }
+
+    // ---- gates -----------------------------------------------------------
+    let failed: u64 = results.iter().map(|r| r.failed).sum();
+    if failed > 0 {
+        return Err(format!("{failed} job(s) failed (expected zero)"));
+    }
+    let (verified, mismatches) = verify_digests(&results, &expected, &id_scenarios);
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} served digest(s) diverged from direct engine runs"
+        ));
+    }
+    let total_rejected = burst_rejected + results.iter().map(|r| r.rejected).sum::<u64>();
+    if opts.expect_backpressure && total_rejected == 0 {
+        return Err("no queue_full rejections observed; backpressure never engaged".to_string());
+    }
+
+    // ---- report ----------------------------------------------------------
+    let mode = if opts.open_loop { "open" } else { "closed" };
+    let mut records = Vec::new();
+    println!(
+        "bench-serve: {} tenant(s) x {} job(s), mode={mode}, scale={}",
+        results.len(),
+        opts.jobs,
+        opts.scale.name()
+    );
+    let mut all_latencies: Vec<u64> = Vec::new();
+    for r in &results {
+        let p50 = percentile_u64(&r.latencies_us, 50.0) as f64 / 1000.0;
+        let p95 = percentile_u64(&r.latencies_us, 95.0) as f64 / 1000.0;
+        let p99 = percentile_u64(&r.latencies_us, 99.0) as f64 / 1000.0;
+        let secs = r.elapsed.as_secs_f64().max(1e-9);
+        let throughput = r.ok as f64 / secs;
+        all_latencies.extend_from_slice(&r.latencies_us);
+        println!(
+            "  {:<10} ok={:<4} rejected={:<3} p50={:.2}ms p95={:.2}ms p99={:.2}ms {:.1} jobs/s",
+            r.name, r.ok, r.rejected, p50, p95, p99, throughput
+        );
+        records.push(format!(
+            "{{\"experiment\": \"serve_latency\", \"tenant\": \"{}\", \"mode\": \"{mode}\", \"jobs\": {}, \"ok\": {}, \"rejected\": {}, \"p50_ms\": {p50:.3}, \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}, \"throughput_jps\": {throughput:.3}}}",
+            json_escape(&r.name),
+            r.latencies_us.len(),
+            r.ok,
+            r.rejected,
+        ));
+    }
+    let agg_p50 = percentile_u64(&all_latencies, 50.0) as f64 / 1000.0;
+    let agg_p99 = percentile_u64(&all_latencies, 99.0) as f64 / 1000.0;
+    let hit_rate = {
+        let total = stats.cache_hits + stats.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            stats.cache_hits as f64 / total as f64
+        }
+    };
+    println!(
+        "  aggregate  p50={agg_p50:.2}ms p99={agg_p99:.2}ms; queue depth p50={} p99={} hwm={}/{}; rejected={}; cache {}h/{}m/{}e (hit rate {:.0}%); digests verified={verified}",
+        stats.depth_p50,
+        stats.depth_p99,
+        stats.depth_hwm,
+        stats.capacity,
+        stats.rejected_full,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        hit_rate * 100.0,
+    );
+    if opts.burst > 0 {
+        println!(
+            "  burst      {} pipelined: ok={burst_ok} queue_full={burst_rejected}",
+            opts.burst
+        );
+    }
+    records.push(format!(
+        "{{\"experiment\": \"serve_queue\", \"depth_p50\": {}, \"depth_p99\": {}, \"depth_max\": {}, \"capacity\": {}, \"rejected_total\": {}}}",
+        stats.depth_p50, stats.depth_p99, stats.depth_hwm, stats.capacity, stats.rejected_full
+    ));
+    records.push(format!(
+        "{{\"experiment\": \"serve_cache\", \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {hit_rate:.4}}}",
+        stats.cache_hits, stats.cache_misses, stats.cache_evictions
+    ));
+    for (name, served, rejected) in &stats.tenants {
+        records.push(format!(
+            "{{\"experiment\": \"serve_tenant\", \"tenant\": \"{}\", \"served\": {served}, \"rejected\": {rejected}}}",
+            json_escape(name)
+        ));
+    }
+
+    let path = opts
+        .out_path
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{}.json", opts.scale.name()).into());
+    let body = format!("[\n  {}\n]\n", records.join(",\n  "));
+    std::fs::write(&path, body).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_jobs_parse_back_through_the_protocol() {
+        let spec = spec_for(ExperimentScale::Tiny, 1);
+        let line = render_job("j1", "acme", &spec);
+        match bh_serve::protocol::parse_request(&line).unwrap() {
+            bh_serve::protocol::Request::Job {
+                id,
+                tenant,
+                spec: parsed,
+            } => {
+                assert_eq!(id, "j1");
+                assert_eq!(tenant, "acme");
+                assert_eq!(parsed, spec);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tenant_mix_rotates_scenarios_but_shares_engine_shape() {
+        let a = spec_for(ExperimentScale::Tiny, 0);
+        let b = spec_for(ExperimentScale::Tiny, 1);
+        assert_ne!(a.scenario, b.scenario);
+        assert_eq!(a.shape(), b.shape());
+    }
+
+    /// End-to-end self-hosted bench at tiny scale: the full acceptance
+    /// surface (zero failures, digest verification, backpressure under
+    /// burst, cache hit-rate) in one in-process run.
+    #[test]
+    fn self_hosted_bench_meets_the_gates() {
+        let out = std::env::temp_dir().join(format!("bh-bench-test-{}.json", std::process::id()));
+        let opts = BenchServeOpts {
+            scale: ExperimentScale::Tiny,
+            tenants: 2,
+            jobs: 12,
+            workers: 2,
+            queue_cap: 4,
+            engines: 2,
+            burst: 24,
+            expect_backpressure: true,
+            out_path: Some(out.clone()),
+            ..Default::default()
+        };
+        let result = run_bench(&opts);
+        let bench = std::fs::read_to_string(&out);
+        let _ = std::fs::remove_file(&out);
+        result.expect("bench gates");
+        let doc = Json::parse(&bench.unwrap()).unwrap();
+        let items = doc.as_array().unwrap();
+        let cache = items
+            .iter()
+            .find(|r| r.get("experiment").and_then(Json::as_str) == Some("serve_cache"))
+            .expect("serve_cache record");
+        // Same-shape workload: the cache must be doing real work.
+        assert!(cache.get("hit_rate").unwrap().as_f64().unwrap() > 0.5);
+    }
+}

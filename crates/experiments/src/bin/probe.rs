@@ -25,7 +25,7 @@
 //! shared data structure they hit.
 
 use bh_core::prelude::*;
-use bh_experiments::ExperimentScale;
+use bh_experiments::{cliargs, ExperimentScale};
 use ssmp::{platform, AttrTable, CostModel, Machine};
 
 /// Apply one `PROBE_<FIELD>` calibration override to the cost model.
@@ -130,32 +130,29 @@ fn main() {
             "--trace" => {
                 i += 1;
                 trace_path = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| die("--trace needs a <path>")),
+                    cliargs::require_value("--trace", args.get(i).map(String::as_str), "a path")
+                        .map(str::to_string)
+                        .unwrap_or_else(|e| die(&e)),
                 );
             }
             "--scale" => {
                 i += 1;
-                let value = args.get(i).unwrap_or_else(|| die("--scale needs a value"));
-                scale = Some(ExperimentScale::parse(value).unwrap_or_else(|| {
-                    die(&format!(
-                        "unknown scale '{value}' (valid: {})",
-                        ExperimentScale::NAMES.join(", ")
-                    ))
-                }));
+                scale = Some(
+                    cliargs::parse_scale("--scale", args.get(i).map(String::as_str))
+                        .unwrap_or_else(|e| die(&e)),
+                );
             }
             "--attr" => attr = true,
             "--group-size" => {
                 i += 1;
-                let value = args
-                    .get(i)
-                    .unwrap_or_else(|| die("--group-size needs a value"));
-                group_size = Some(value.parse::<usize>().unwrap_or_else(|_| {
-                    die(&format!(
-                        "invalid --group-size '{value}' (integer >= 0; 0 = per-body walk)"
-                    ))
-                }));
+                group_size = Some(
+                    cliargs::parse_value(
+                        "--group-size",
+                        args.get(i).map(String::as_str),
+                        "integer >= 0; 0 = per-body walk",
+                    )
+                    .unwrap_or_else(|e| die(&e)),
+                );
             }
             flag if flag.starts_with("--") => die(&format!("unrecognized flag '{flag}'")),
             other if positional.len() < 4 => positional.push(other.to_string()),
@@ -176,12 +173,10 @@ fn main() {
             algorithm_names()
         ))
     });
-    let mut n: usize = positional[2]
-        .parse()
-        .unwrap_or_else(|_| die(&format!("invalid n '{}'", positional[2])));
-    let mut procs: usize = positional[3]
-        .parse()
-        .unwrap_or_else(|_| die(&format!("invalid procs '{}'", positional[3])));
+    let mut n: usize =
+        cliargs::parse_positional("n", &positional[2], "a body count").unwrap_or_else(|e| die(&e));
+    let mut procs: usize = cliargs::parse_positional("procs", &positional[3], "a processor count")
+        .unwrap_or_else(|e| die(&e));
     if let Some(s) = scale {
         n = s.size(n);
         procs = s.procs(procs);

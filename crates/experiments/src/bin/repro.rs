@@ -52,6 +52,7 @@
 //! explorer to find it. Non-zero exit on any non-certified cell, with a
 //! counterexample report (finding, schedule id, trace tail) for each.
 
+use bh_experiments::cliargs;
 use bh_experiments::experiments;
 use bh_experiments::json::Json;
 use bh_experiments::report;
@@ -69,6 +70,10 @@ fn usage_text() -> String {
          \x20      repro check-trace <path>\n\
          \x20      repro check-same <a> <b>\n\
          \x20      repro bench-diff <baseline> <fresh> [--max-regress <fraction>]\n\
+         \x20      repro bench-serve [--scale <scale>] [--connect unix:<path>|tcp:<addr>]\n\
+         \x20            [--tenants <N>] [--jobs <N/tenant>] [--workers <N>] [--queue-cap <N>]\n\
+         \x20            [--engines <N>] [--mode closed|open] [--rate <jobs/s>] [--window <N>]\n\
+         \x20            [--burst <N>] [--expect-backpressure] [--shutdown] [--out <path>]\n\
          experiments: {}",
         ExperimentScale::NAMES.join("|"),
         experiments::EXPERIMENT_NAMES.join(" ")
@@ -131,22 +136,29 @@ fn main() {
                 match args[i].as_str() {
                     "--max-regress" => {
                         i += 1;
-                        let v = args
-                            .get(i)
-                            .unwrap_or_else(|| die("--max-regress needs a value"));
-                        max_regress =
-                            v.parse::<f64>()
-                                .ok()
-                                .filter(|x| *x >= 0.0)
-                                .unwrap_or_else(|| {
-                                    die(&format!("invalid --max-regress '{v}' (fraction >= 0)"))
-                                });
+                        let v: f64 = cliargs::parse_value(
+                            "--max-regress",
+                            args.get(i).map(String::as_str),
+                            "a fraction >= 0",
+                        )
+                        .unwrap_or_else(|e| die(&e));
+                        if v < 0.0 {
+                            die(&format!(
+                                "invalid --max-regress '{}' (expected a fraction >= 0)",
+                                args[i]
+                            ));
+                        }
+                        max_regress = v;
                     }
                     extra => die(&format!("unexpected argument '{extra}'")),
                 }
                 i += 1;
             }
             bench_diff(baseline, fresh, max_regress);
+            return;
+        }
+        "bench-serve" => {
+            bench_serve_cmd(&args[1..]);
             return;
         }
         _ => {}
@@ -163,49 +175,45 @@ fn main() {
         match args[i].as_str() {
             "--jobs" => {
                 i += 1;
-                let value = args.get(i).unwrap_or_else(|| die("--jobs needs a value"));
-                jobs = value
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|j| *j >= 1)
-                    .unwrap_or_else(|| die(&format!("invalid --jobs '{value}' (integer >= 1)")));
+                jobs = cliargs::parse_min(
+                    "--jobs",
+                    args.get(i).map(String::as_str),
+                    1,
+                    "an integer >= 1",
+                )
+                .unwrap_or_else(|e| die(&e));
             }
             "--scale" => {
                 i += 1;
-                let value = args.get(i).unwrap_or_else(|| die("--scale needs a value"));
-                scale = ExperimentScale::parse(value).unwrap_or_else(|| {
-                    die(&format!(
-                        "unknown scale '{value}' (valid: {})",
-                        ExperimentScale::NAMES.join(", ")
-                    ))
-                });
+                scale = cliargs::parse_scale("--scale", args.get(i).map(String::as_str))
+                    .unwrap_or_else(|e| die(&e));
             }
             "--json" => {
                 i += 1;
                 json_path = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| die("--json needs a <path>")),
+                    cliargs::require_value("--json", args.get(i).map(String::as_str), "a path")
+                        .map(str::to_string)
+                        .unwrap_or_else(|e| die(&e)),
                 );
             }
             "--trace" => {
                 i += 1;
                 trace_path = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| die("--trace needs a <path>")),
+                    cliargs::require_value("--trace", args.get(i).map(String::as_str), "a path")
+                        .map(str::to_string)
+                        .unwrap_or_else(|e| die(&e)),
                 );
             }
             "--group-size" => {
                 i += 1;
-                let value = args
-                    .get(i)
-                    .unwrap_or_else(|| die("--group-size needs a value"));
-                group_size = Some(value.parse::<usize>().unwrap_or_else(|_| {
-                    die(&format!(
-                        "invalid --group-size '{value}' (integer >= 0; 0 = per-body walk)"
-                    ))
-                }));
+                group_size = Some(
+                    cliargs::parse_value(
+                        "--group-size",
+                        args.get(i).map(String::as_str),
+                        "integer >= 0; 0 = per-body walk",
+                    )
+                    .unwrap_or_else(|e| die(&e)),
+                );
             }
             flag if flag.starts_with("--") => die(&format!("unrecognized flag '{flag}'")),
             other if which.is_none() => which = Some(other.to_string()),
@@ -340,22 +348,27 @@ fn verify(args: &[String]) {
         match args[i].as_str() {
             "--seeds" => {
                 i += 1;
-                let v = args.get(i).unwrap_or_else(|| die("--seeds needs a value"));
-                seeds = v
-                    .parse::<usize>()
-                    .ok()
-                    .unwrap_or_else(|| die(&format!("invalid --seeds '{v}'")));
+                seeds =
+                    cliargs::parse_value("--seeds", args.get(i).map(String::as_str), "an integer")
+                        .unwrap_or_else(|e| die(&e));
             }
             "--procs" => {
                 i += 1;
-                let v = args.get(i).unwrap_or_else(|| die("--procs needs a value"));
+                let v = cliargs::require_value(
+                    "--procs",
+                    args.get(i).map(String::as_str),
+                    "a comma-separated list like 2,4",
+                )
+                .unwrap_or_else(|e| die(&e));
                 procs = v
                     .split(',')
                     .map(|p| {
                         p.parse::<usize>()
                             .ok()
                             .filter(|p| (1..=8).contains(p))
-                            .unwrap_or_else(|| die(&format!("invalid --procs entry '{p}' (1..=8)")))
+                            .unwrap_or_else(|| {
+                                die(&format!("invalid --procs entry '{p}' (expected 1..=8)"))
+                            })
                     })
                     .collect();
             }
@@ -480,10 +493,46 @@ const TREEBUILD_FIELDS: [&str; 19] = [
     "native_force_ns",
 ];
 
+/// Required fields of the `serve_*` records `repro bench-serve` emits:
+/// (experiment name, string fields, numeric fields).
+const SERVE_SCHEMAS: [(&str, &[&str], &[&str]); 4] = [
+    (
+        "serve_latency",
+        &["tenant", "mode"],
+        &[
+            "jobs",
+            "ok",
+            "rejected",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "throughput_jps",
+        ],
+    ),
+    (
+        "serve_queue",
+        &[],
+        &[
+            "depth_p50",
+            "depth_p99",
+            "depth_max",
+            "capacity",
+            "rejected_total",
+        ],
+    ),
+    (
+        "serve_cache",
+        &[],
+        &["hits", "misses", "evictions", "hit_rate"],
+    ),
+    ("serve_tenant", &["tenant"], &["served", "rejected"]),
+];
+
 /// Validate an experiment-table, BENCH or REPORT document: well-formed
 /// JSON, a non-empty array of objects; treebuild metric records must carry
 /// the full numeric schema (including the load-imbalance and flatten
-/// metrics); `report_*` records are validated against
+/// metrics); `serve_*` records from `bench-serve` must match
+/// [`SERVE_SCHEMAS`]; `report_*` records are validated against
 /// [`bh_experiments::report::REPORT_SCHEMAS`], and the `report_comm`
 /// breakdown is re-checked for the tiling property from the document alone:
 /// per-region rows must sum exactly to their configuration's "total" row.
@@ -514,6 +563,24 @@ fn check_json(path: &str) {
                 if item.get(field).and_then(Json::as_f64).is_none() {
                     die(&format!(
                         "{path}: treebuild record {i} lacks numeric \"{field}\""
+                    ));
+                }
+            }
+        }
+        if let Some((name, strs, nums)) =
+            experiment.and_then(|e| SERVE_SCHEMAS.iter().find(|(name, _, _)| *name == e))
+        {
+            for field in *strs {
+                if item.get(field).and_then(Json::as_str).is_none() {
+                    die(&format!(
+                        "{path}: {name} record {i} lacks string \"{field}\""
+                    ));
+                }
+            }
+            for field in *nums {
+                if item.get(field).and_then(Json::as_f64).is_none() {
+                    die(&format!(
+                        "{path}: {name} record {i} lacks numeric \"{field}\""
                     ));
                 }
             }
@@ -751,6 +818,109 @@ fn bench_diff(baseline_path: &str, fresh_path: &str, max_regress: f64) {
         "bench-diff: OK ({compared} metric(s) within {:.0}% of {baseline_path})",
         max_regress * 100.0
     );
+}
+
+/// `repro bench-serve`: drive a job server with a multi-tenant load mix
+/// and write `serve_*` records. Self-hosts on a temp unix socket unless
+/// `--connect` points at a running `serve` binary. Non-zero exit on any
+/// failed job, digest mismatch, or (with `--expect-backpressure`) a burst
+/// that never saw `queue_full`.
+fn bench_serve_cmd(args: &[String]) {
+    use bh_experiments::bench_serve::{run_bench, BenchServeOpts};
+    let mut opts = BenchServeOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i).map(String::as_str);
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = cliargs::parse_scale("--scale", value(i)).unwrap_or_else(|e| die(&e));
+            }
+            "--connect" => {
+                i += 1;
+                let s = cliargs::require_value("--connect", value(i), "unix:<path> or tcp:<addr>")
+                    .unwrap_or_else(|e| die(&e));
+                opts.connect =
+                    Some(bh_serve::transport::Endpoint::parse(s).unwrap_or_else(|e| die(&e)));
+            }
+            "--tenants" => {
+                i += 1;
+                opts.tenants = cliargs::parse_min("--tenants", value(i), 1, "an integer >= 1")
+                    .unwrap_or_else(|e| die(&e));
+            }
+            "--jobs" => {
+                i += 1;
+                opts.jobs = cliargs::parse_min("--jobs", value(i), 1, "an integer >= 1")
+                    .unwrap_or_else(|e| die(&e));
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers = cliargs::parse_min("--workers", value(i), 1, "an integer >= 1")
+                    .unwrap_or_else(|e| die(&e));
+            }
+            "--queue-cap" => {
+                i += 1;
+                opts.queue_cap = cliargs::parse_min("--queue-cap", value(i), 1, "an integer >= 1")
+                    .unwrap_or_else(|e| die(&e));
+            }
+            "--engines" => {
+                i += 1;
+                opts.engines = cliargs::parse_min("--engines", value(i), 1, "an integer >= 1")
+                    .unwrap_or_else(|e| die(&e));
+            }
+            "--mode" => {
+                i += 1;
+                match cliargs::require_value("--mode", value(i), "closed or open")
+                    .unwrap_or_else(|e| die(&e))
+                {
+                    "closed" => opts.open_loop = false,
+                    "open" => opts.open_loop = true,
+                    other => die(&format!(
+                        "invalid --mode '{other}' (expected closed or open)"
+                    )),
+                }
+            }
+            "--rate" => {
+                i += 1;
+                let v: f64 = cliargs::parse_value("--rate", value(i), "jobs per second > 0")
+                    .unwrap_or_else(|e| die(&e));
+                if v <= 0.0 {
+                    die(&format!(
+                        "invalid --rate '{}' (expected jobs per second > 0)",
+                        args[i]
+                    ));
+                }
+                opts.rate = v;
+            }
+            "--window" => {
+                i += 1;
+                opts.window = cliargs::parse_min("--window", value(i), 1, "an integer >= 1")
+                    .unwrap_or_else(|e| die(&e));
+            }
+            "--burst" => {
+                i += 1;
+                opts.burst = cliargs::parse_value("--burst", value(i), "an integer >= 0")
+                    .unwrap_or_else(|e| die(&e));
+            }
+            "--out" => {
+                i += 1;
+                let s =
+                    cliargs::require_value("--out", value(i), "a path").unwrap_or_else(|e| die(&e));
+                opts.out_path = Some(s.into());
+            }
+            "--expect-backpressure" => opts.expect_backpressure = true,
+            "--shutdown" => opts.shutdown = true,
+            extra => die(&format!("unexpected argument '{extra}'")),
+        }
+        i += 1;
+    }
+    match run_bench(&opts) {
+        Ok(path) => eprintln!("[wrote {path}]"),
+        Err(msg) => {
+            eprintln!("repro: bench-serve: {msg}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Validate a Chrome trace-event document: well-formed JSON, nonzero

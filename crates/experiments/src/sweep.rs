@@ -5,11 +5,14 @@
 //! [`crate::runner`]. The sweep scheduler makes the implied job list
 //! explicit: it enumerates every (platform, algorithm, n, procs)
 //! configuration a set of experiments will need, dedups them (figures share
-//! many configurations), and runs them across a bounded number of scheduler
-//! threads to *prewarm* the caches. The serial table-generation pass that
-//! follows is then pure cache lookup: the scheduler changes wall-clock
-//! time, never the set of configurations computed or which value a given
-//! key gets (each key is computed at most once thanks to dedup).
+//! many configurations), and submits them — as tenant `"sweep"` — to an
+//! in-process [`bh_serve::server::Server`] to *prewarm* the caches. Batch
+//! sweeps and socket-served jobs thereby share one admission/worker path;
+//! the sweep is just another client of the service layer. The serial
+//! table-generation pass that follows is then pure cache lookup: the
+//! scheduler changes wall-clock time, never the set of configurations
+//! computed or which value a given key gets (each key is computed at most
+//! once thanks to dedup).
 //!
 //! Determinism: single-processor runs (all sequential baselines, hence all
 //! of Table 1) are bitwise deterministic, so their output is byte-identical
@@ -26,9 +29,9 @@
 use crate::experiments::ALGS;
 use crate::runner::{run_cached, seq_time_on_platform, ExperimentScale};
 use bh_core::prelude::*;
+use bh_serve::server::{Server, ServerConfig};
 use ssmp::{platform, CostModel};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One unit of sweep work: a full simulated application run.
 pub enum SweepJob {
@@ -134,9 +137,12 @@ impl SweepScheduler {
         });
     }
 
-    /// Run every queued job across up to `workers` scheduler threads and
-    /// return the number of jobs executed. Baselines run ahead of the
-    /// measurements that need them, longest jobs first within each class.
+    /// Run every queued job across up to `workers` executor threads of an
+    /// in-process job server, and return the number of jobs executed.
+    /// Baselines run ahead of the measurements that need them, longest
+    /// jobs first within each class; with a single tenant the server's
+    /// deficit round-robin degenerates to FIFO, so that submission order
+    /// is also the dispatch order.
     pub fn run(mut self, workers: usize) -> usize {
         self.jobs.sort_by_key(|j| {
             let seq_first = match j {
@@ -146,24 +152,27 @@ impl SweepScheduler {
             (seq_first, std::cmp::Reverse(j.weight()))
         });
         let total = self.jobs.len();
-        let workers = workers.max(1).min(total.max(1));
-        if workers == 1 {
-            for job in &self.jobs {
-                job.run();
-            }
-            return total;
+        if total == 0 {
+            return 0;
         }
-        let next = AtomicUsize::new(0);
-        let jobs = &self.jobs;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
-                    job.run();
-                });
-            }
+        let server = Server::start(ServerConfig {
+            workers: workers.max(1).min(total),
+            // The whole batch is admitted up front: capacity = batch size,
+            // so a sweep never sees queue_full.
+            queue_capacity: total,
+            // Sweep tasks carry their own engines and memoization; the
+            // engine cache is idle on this path.
+            engine_capacity: 1,
+            ..ServerConfig::default()
         });
+        for job in self.jobs {
+            let weight = job.weight();
+            server
+                .submit_task("sweep", weight, move || job.run())
+                .expect("sweep queue sized to the batch");
+        }
+        server.wait_idle();
+        server.shutdown();
         total
     }
 }

@@ -150,4 +150,17 @@ mod tests {
         assert_eq!(fmt_speedup(12.3456), "12.35");
         assert_eq!(fmt_pct(0.5), "50.0%");
     }
+
+    #[test]
+    fn roundtrips_table_output() {
+        use crate::json::Json;
+        let mut t = Table::new("Table 9", "tricky \"title\"", &["col\na", "b"], "exp");
+        t.row(vec!["1".to_string(), "häßlich \\ value".to_string()]);
+        let doc = Json::parse(&t.to_json()).expect("table JSON parses");
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("Table 9"));
+        assert_eq!(doc.get("title").unwrap().as_str(), Some("tricky \"title\""));
+        let rows = doc.get("rows").unwrap().as_array().unwrap();
+        let row0 = rows[0].as_array().unwrap();
+        assert_eq!(row0[1].as_str(), Some("häßlich \\ value"));
+    }
 }

@@ -1,0 +1,87 @@
+//! `serve` — the job-server daemon.
+//!
+//! ```text
+//! serve --unix /tmp/bh.sock --workers 4 --queue-cap 32 --engines 8
+//! serve --tcp 127.0.0.1:7007 --weights gold=3,bronze=1
+//! ```
+//!
+//! Runs until a client sends `{"op":"shutdown"}`, then drains the queue,
+//! parks the engines, and prints a final stats line (JSON) to stdout.
+
+use bh_serve::protocol::encode_stats;
+use bh_serve::server::{parse_weights, Server, ServerConfig};
+use bh_serve::transport::{run, Endpoint};
+
+const USAGE: &str = "\
+usage: serve (--unix <path> | --tcp <host:port>) [options]
+
+options:
+  --workers <n>       executor threads (default 2)
+  --queue-cap <n>     admission queue bound (default 32)
+  --engines <n>       engine cache capacity (default 8)
+  --quantum <n>       DRR cost credit per turn (default 50000)
+  --weights <list>    tenant weights, e.g. gold=3,bronze=1
+";
+
+fn die(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_num(flag: &str, value: Option<String>) -> usize {
+    let value = value.unwrap_or_else(|| die(&format!("{flag} requires a value")));
+    value.parse().unwrap_or_else(|_| {
+        die(&format!(
+            "invalid {flag} '{value}' (expected a positive integer)"
+        ))
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut endpoint: Option<Endpoint> = None;
+    let mut cfg = ServerConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--unix" => {
+                let path = args.next().unwrap_or_else(|| die("--unix requires a path"));
+                endpoint = Some(Endpoint::Unix(path.into()));
+            }
+            "--tcp" => {
+                let addr = args
+                    .next()
+                    .unwrap_or_else(|| die("--tcp requires host:port"));
+                endpoint =
+                    Some(Endpoint::parse(&format!("tcp:{addr}")).unwrap_or_else(|e| die(&e)));
+            }
+            "--workers" => cfg.workers = parse_num("--workers", args.next()).max(1),
+            "--queue-cap" => cfg.queue_capacity = parse_num("--queue-cap", args.next()).max(1),
+            "--engines" => cfg.engine_capacity = parse_num("--engines", args.next()).max(1),
+            "--quantum" => cfg.quantum = parse_num("--quantum", args.next()).max(1) as u64,
+            "--weights" => {
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| die("--weights requires a list"));
+                cfg.weights = parse_weights(&spec).unwrap_or_else(|e| die(&e));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(endpoint) = endpoint else {
+        die("one of --unix or --tcp is required");
+    };
+
+    let server = Server::start(cfg);
+    match run(server, &endpoint) {
+        Ok(stats) => println!("{}", encode_stats(&stats)),
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Job execution: one validated [`JobSpec`] in, one [`JobOutcome`] out.
+//!
+//! The executor is deliberately a free function over the cache so the
+//! server's worker threads and in-process tests share exactly one code
+//! path. Engine checkout/park happens under the caller-provided lock
+//! discipline (the server passes a closure that locks its cache); the run
+//! itself — the expensive part — happens outside any lock.
+
+use crate::cache::AnyEngine;
+use crate::job::{digest_bodies, JobSpec};
+
+/// What a completed job reports back to its client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// FNV-1a digest of the final body state's bit patterns. At one
+    /// processor this is bitwise-reproducible, so clients can verify served
+    /// physics against a direct [`bh_core::engine::SimEngine`] run.
+    pub digest: u64,
+    /// Whether the engine came warm from the cache.
+    pub cache_hit: bool,
+    /// Total measured cycles across processors (0 on the native platform,
+    /// where wall-clock latency is reported by the client instead).
+    pub total_cycles: u64,
+    /// Cycles spent in the tree-build phase (0 on native).
+    pub tree_cycles: u64,
+    /// Measured steps actually recorded.
+    pub steps: usize,
+}
+
+/// Run `spec` on `engine`, producing the outcome. Panics propagate to the
+/// caller (the server catches them per-job and drops the engine).
+pub fn run_job(engine: &mut AnyEngine, spec: &JobSpec) -> JobOutcome {
+    let cfg = spec.config();
+    let bodies = spec.bodies();
+    let (stats, finals) = engine.run(&cfg, &bodies);
+    let sim = matches!(engine, AnyEngine::Sim(_));
+    JobOutcome {
+        digest: digest_bodies(&finals),
+        cache_hit: false, // filled in by the caller, which knows the source
+        total_cycles: if sim { stats.total_time() } else { 0 },
+        tree_cycles: if sim { stats.tree_time() } else { 0 },
+        steps: stats.steps_recorded(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_core::prelude::*;
+
+    #[test]
+    fn outcome_matches_direct_engine_run_at_one_proc() {
+        let spec = JobSpec::defaults(128);
+        let mut engine = AnyEngine::fresh(&spec.shape());
+        let out = run_job(&mut engine, &spec);
+
+        let (_, finals) =
+            run_simulation_with_state(&NativeEnv::new(1), &spec.config(), &spec.bodies());
+        assert_eq!(out.digest, digest_bodies(&finals));
+        assert_eq!(out.total_cycles, 0, "native reports no simulated cycles");
+        assert_eq!(out.steps, spec.steps);
+    }
+
+    #[test]
+    fn simulated_platform_reports_cycles() {
+        let mut spec = JobSpec::defaults(64);
+        spec.platform = crate::job::PlatformId::parse("origin2000").unwrap();
+        let mut engine = AnyEngine::fresh(&spec.shape());
+        let out = run_job(&mut engine, &spec);
+        assert!(out.total_cycles > 0);
+        assert!(out.tree_cycles > 0);
+        assert!(out.tree_cycles <= out.total_cycles);
+    }
+}

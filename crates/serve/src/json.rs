@@ -1,10 +1,30 @@
-//! A minimal JSON reader for schema sanity checks.
+//! A minimal JSON reader for the job protocol and for schema sanity checks.
 //!
-//! The workspace builds offline (no serde), but the pre-merge gate wants to
-//! verify that the JSON the tools emit — experiment tables, Chrome traces,
-//! `BENCH_*.json` metrics — is well-formed and structurally sane. This is a
-//! small recursive-descent parser for exactly that: strict enough to reject
-//! malformed documents, simple enough to audit at a glance.
+//! The workspace builds offline (no serde), so both the serve layer's
+//! line-delimited job protocol and the pre-merge schema gates (experiment
+//! tables, Chrome traces, `BENCH_*.json` metrics) parse with this small
+//! recursive-descent parser: strict enough to reject malformed documents,
+//! simple enough to audit at a glance. It lived in `bh-experiments` until
+//! the job server needed it below the experiments layer.
+
+/// Escape a string for embedding in a JSON document (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// A parsed JSON value. Object keys keep their document order.
 #[derive(Debug, Clone, PartialEq)]
@@ -349,11 +369,11 @@ mod tests {
     }
 
     #[test]
-    fn roundtrips_table_output() {
-        let mut t = crate::tables::Table::new("T", "title \"q\"", &["h1", "h2"], "exp");
-        t.row(vec!["a", "b"]);
-        let v = Json::parse(&t.to_json()).expect("Table::to_json must be valid JSON");
-        assert_eq!(v.get("id").unwrap().as_str(), Some("T"));
-        assert_eq!(v.get("rows").unwrap().as_array().unwrap().len(), 1);
+    fn escape_roundtrips_through_parse() {
+        for s in ["plain", "with \"quotes\"", "tabs\tand\nnewlines", "héllo"] {
+            let doc = escape(s);
+            assert_eq!(Json::parse(&doc).unwrap(), Json::Str(s.into()), "{doc}");
+        }
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
     }
 }

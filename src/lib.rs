@@ -5,10 +5,13 @@
 //!   tree-building algorithms (the paper's contribution).
 //! * [`ssmp`] — the shared-address-space multiprocessor simulator (the
 //!   platform substrate).
+//! * [`bh_serve`] — the multi-tenant job server turning the engine into a
+//!   long-lived service (admission queue, fair scheduling, engine cache).
 //! * [`bh_experiments`] — the harness regenerating every table and figure.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub use bh_core;
 pub use bh_experiments;
+pub use bh_serve;
 pub use ssmp;

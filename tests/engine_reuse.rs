@@ -20,6 +20,8 @@
 //! costs corrupt positions at O(1), or fail validation outright).
 
 use bh_repro::bh_core::prelude::*;
+use bh_repro::bh_serve::job::{digest_bodies, JobSpec};
+use bh_repro::bh_serve::server::{JobResult, Server, ServerConfig};
 
 const ALL_ALGS: [Algorithm; 6] = [
     Algorithm::Orig,
@@ -125,6 +127,84 @@ fn engine_reuse_across_different_algorithms_stays_exact() {
         stats.assert_valid();
         let (_, fresh) = run_simulation_with_state(&NativeEnv::new(1), &cfg, &bodies);
         assert!(state == fresh, "{alg}: interleaved engine job diverged");
+    }
+}
+
+#[test]
+fn cross_tenant_interleaving_through_the_server_cache_stays_bitwise() {
+    // Two tenants alternate same-shape jobs through the job server's
+    // engine cache: every served job must be bitwise identical to the same
+    // spec run on a fresh engine in a clean single-tenant process. This is
+    // the multi-tenant extension of the reuse certification above — cached
+    // engines must not leak any state between tenants.
+    let scenarios = [
+        Model::Plummer,
+        Model::UniformSphere,
+        Model::TwoClusterCollision,
+    ];
+    let mut specs = Vec::new();
+    for round in 0..3 {
+        for tenant in ["acme", "globex"] {
+            let mut spec = JobSpec::defaults(96);
+            spec.scenario = scenarios[round % scenarios.len()];
+            spec.warmup = 1;
+            spec.steps = 2;
+            spec.k = 4;
+            specs.push((tenant, spec));
+        }
+    }
+
+    // Ground truth: each distinct spec on a fresh engine, single tenant.
+    let fresh: Vec<u64> = specs
+        .iter()
+        .map(|(_, spec)| {
+            let (_, state) =
+                run_simulation_with_state(&NativeEnv::new(1), &spec.config(), &spec.bodies());
+            digest_bodies(&state)
+        })
+        .collect();
+
+    // One worker serializes execution so the cache is exercised every job
+    // after the first (same shape throughout).
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: specs.len(),
+        engine_capacity: 2,
+        ..ServerConfig::default()
+    });
+    let (tx, rx) = std::sync::mpsc::channel();
+    for (i, (tenant, spec)) in specs.iter().enumerate() {
+        let tx = tx.clone();
+        server
+            .submit(
+                tenant,
+                spec.clone(),
+                Box::new(move |result| {
+                    tx.send((i, result)).unwrap();
+                }),
+            )
+            .expect("submit");
+    }
+    server.wait_idle();
+    let mut served = vec![None; specs.len()];
+    while let Ok((i, result)) = rx.try_recv() {
+        served[i] = Some(result);
+    }
+    let stats = server.shutdown();
+    assert!(
+        stats.cache.hits > 0,
+        "same-shape jobs never hit the engine cache"
+    );
+
+    for (i, (tenant, spec)) in specs.iter().enumerate() {
+        match &served[i] {
+            Some(JobResult::Done(outcome)) => assert_eq!(
+                outcome.digest, fresh[i],
+                "job {i} (tenant {tenant}, {:?}): served digest diverged from fresh run",
+                spec.scenario
+            ),
+            other => panic!("job {i} (tenant {tenant}) did not complete: {other:?}"),
+        }
     }
 }
 
